@@ -1,0 +1,98 @@
+// Ablation (DESIGN.md #1): averaging strategy. Compares the Moshpit-style
+// hierarchical plan against flat N-to-N and star-via-hub on the
+// geo-distributed fleets, in both round wall-clock and cross-continent
+// egress volume — the two quantities that drive throughput and cost.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "common/units.h"
+#include "core/catalog.h"
+#include "core/experiment.h"
+
+namespace {
+
+using namespace hivesim;
+using collective::Strategy;
+using models::ModelId;
+
+struct StrategyOutcome {
+  double sps = 0;
+  double external_egress_per_hour = 0;
+};
+
+StrategyOutcome Run(const core::ClusterSpec& cluster, Strategy strategy) {
+  core::ExperimentConfig config;
+  config.model = ModelId::kRobertaXlm;
+  config.strategy = strategy;
+  auto result = core::RunHivemindExperiment(cluster, config);
+  StrategyOutcome outcome;
+  if (result.ok()) {
+    outcome.sps = result->train.throughput_sps;
+    const double hours = result->usages.empty()
+                             ? 1.0
+                             : result->usages.front().hours;
+    outcome.external_egress_per_hour =
+        result->fleet_cost.external_egress / hours;
+  }
+  return outcome;
+}
+
+void PrintAblation() {
+  bench::PrintHeading(
+      "Ablation: averaging strategy on geo-distributed fleets (NLP)");
+  TableWriter table({"Fleet", "Strategy", "SPS", "Ext. egress cost ($/h)"});
+  const struct {
+    const char* name;
+    core::ClusterSpec cluster;
+  } fleets[] = {
+      {"B-8 (4 US + 4 EU)", core::BSeries()[3].cluster},
+      {"C-8 (2 per continent)", core::CSeries()[3].cluster},
+  };
+  for (const auto& fleet : fleets) {
+    for (Strategy strategy : {Strategy::kAuto, Strategy::kFlatAllToAll,
+                              Strategy::kHierarchical}) {
+      const StrategyOutcome outcome = Run(fleet.cluster, strategy);
+      table.AddRow({fleet.name,
+                    std::string(collective::StrategyName(strategy)),
+                    StrFormat("%.1f", outcome.sps),
+                    StrFormat("%.2f", outcome.external_egress_per_hour)});
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+
+  const StrategyOutcome flat = Run(core::CSeries()[3].cluster,
+                                   Strategy::kFlatAllToAll);
+  const StrategyOutcome hier = Run(core::CSeries()[3].cluster,
+                                   Strategy::kHierarchical);
+  std::cout << StrFormat(
+      "C-8 hierarchical vs flat: %.1fx the throughput at %.1fx the "
+      "cross-continent egress cost.\n",
+      hier.sps / flat.sps,
+      hier.external_egress_per_hour / flat.external_egress_per_hour);
+}
+
+void BM_Strategy(benchmark::State& state) {
+  const auto strategy = static_cast<Strategy>(state.range(0));
+  for (auto _ : state) {
+    state.counters["sps"] = Run(core::CSeries()[3].cluster, strategy).sps;
+  }
+}
+BENCHMARK(BM_Strategy)
+    ->Arg(static_cast<int>(Strategy::kFlatAllToAll))
+    ->Arg(static_cast<int>(Strategy::kHierarchical))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation (DESIGN.md #3): gradient compression tiers. The paper runs
+// everything with FP16 payloads and names "better compression" as the
+// lever for further communication-time improvements (Section 10); this
+// sweeps FP32 -> FP16 -> INT8 across network tiers, in both time and
+// egress dollars.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "core/catalog.h"
+#include "core/experiment.h"
+
+namespace {
+
+using namespace hivesim;
+using models::Compression;
+using models::ModelId;
+
+struct Outcome {
+  double sps = 0;
+  double egress_per_hour = 0;
+};
+
+Outcome Run(const core::ClusterSpec& cluster, Compression compression) {
+  core::ExperimentConfig config;
+  config.model = ModelId::kRobertaXlm;
+  config.compression = compression;
+  auto result = core::RunHivemindExperiment(cluster, config);
+  Outcome outcome;
+  if (result.ok()) {
+    outcome.sps = result->train.throughput_sps;
+    const double hours =
+        result->usages.empty() ? 1.0 : result->usages.front().hours;
+    outcome.egress_per_hour = (result->fleet_cost.internal_egress +
+                               result->fleet_cost.external_egress) /
+                              hours;
+  }
+  return outcome;
+}
+
+void PrintAblation() {
+  bench::PrintHeading(
+      "Ablation: gradient compression tiers (RoBERTa-XLM)");
+  TableWriter table({"Fleet", "Payload", "SPS", "Egress cost ($/h)"});
+  const struct {
+    const char* name;
+    core::ClusterSpec cluster;
+  } fleets[] = {
+      {"A-8 (intra-zone)", core::ASeries()[5].cluster},
+      {"B-2 (transatlantic)", core::BSeries()[0].cluster},
+      {"C-8 (4 continents)", core::CSeries()[3].cluster},
+  };
+  for (const auto& fleet : fleets) {
+    for (Compression c :
+         {Compression::kNone, Compression::kFp16, Compression::kInt8}) {
+      const Outcome outcome = Run(fleet.cluster, c);
+      table.AddRow({fleet.name, std::string(models::CompressionName(c)),
+                    StrFormat("%.1f", outcome.sps),
+                    StrFormat("%.2f", outcome.egress_per_hour)});
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+
+  const Outcome fp16 = Run(core::CSeries()[3].cluster, Compression::kFp16);
+  const Outcome int8 = Run(core::CSeries()[3].cluster, Compression::kInt8);
+  std::cout << StrFormat(
+      "C-8 int8 vs fp16: %+.0f%% throughput at %.0f%% of the egress "
+      "bill - the paper's 'better compression' headroom.\n",
+      (int8.sps / fp16.sps - 1.0) * 100,
+      int8.egress_per_hour / fp16.egress_per_hour * 100);
+}
+
+void BM_Compression(benchmark::State& state) {
+  const auto c = static_cast<Compression>(state.range(0));
+  for (auto _ : state) {
+    state.counters["sps"] = Run(core::BSeries()[0].cluster, c).sps;
+  }
+}
+BENCHMARK(BM_Compression)
+    ->Arg(static_cast<int>(Compression::kNone))
+    ->Arg(static_cast<int>(Compression::kFp16))
+    ->Arg(static_cast<int>(Compression::kInt8))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

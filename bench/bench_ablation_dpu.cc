@@ -1,0 +1,73 @@
+// Ablation (DESIGN.md #2): delayed parameter updates. With DPU the
+// CPU-side optimizer apply (seconds for the big models on the GC hosts)
+// overlaps the next epoch's compute at the cost of one round of
+// staleness; without it the apply lands on the critical path.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "core/cluster.h"
+#include "core/experiment.h"
+
+namespace {
+
+using namespace hivesim;
+using models::ModelId;
+
+core::ExperimentResult Run(ModelId model, bool dpu) {
+  core::ClusterSpec cluster;
+  cluster.groups = {core::GcT4s(8)};
+  core::ExperimentConfig config;
+  config.model = model;
+  config.delayed_parameter_updates = dpu;
+  auto result = core::RunHivemindExperiment(cluster, config);
+  return result.ok() ? *result : core::ExperimentResult{};
+}
+
+void PrintAblation() {
+  bench::PrintHeading("Ablation: delayed parameter updates (8xT4)");
+  TableWriter table(
+      {"Model", "DPU", "SPS", "Comm (s)", "Granularity", "Speed gain"});
+  for (ModelId model : models::SuitabilityStudyModels()) {
+    const auto off = Run(model, false);
+    const auto on = Run(model, true);
+    table.AddRow({std::string(models::ModelName(model)), "off",
+                  StrFormat("%.1f", off.train.throughput_sps),
+                  StrFormat("%.1f", off.train.avg_comm_sec),
+                  StrFormat("%.2f", off.train.granularity), "-"});
+    table.AddRow({std::string(models::ModelName(model)), "on",
+                  StrFormat("%.1f", on.train.throughput_sps),
+                  StrFormat("%.1f", on.train.avg_comm_sec),
+                  StrFormat("%.2f", on.train.granularity),
+                  StrFormat("%+.1f%%", (on.train.throughput_sps /
+                                            off.train.throughput_sps -
+                                        1.0) *
+                                           100)});
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+  std::cout << "DPU matters most for the largest models (biggest CPU "
+               "apply) and low-granularity tasks.\n";
+}
+
+void BM_Dpu(benchmark::State& state) {
+  const bool dpu = state.range(0) != 0;
+  for (auto _ : state) {
+    state.counters["sps"] =
+        Run(ModelId::kRobertaXlm, dpu).train.throughput_sps;
+  }
+}
+BENCHMARK(BM_Dpu)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

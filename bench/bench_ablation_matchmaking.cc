@@ -1,0 +1,79 @@
+// Ablation (DESIGN.md #5): the 5 s matchmaking floor. Small models with
+// small target batch sizes accumulate faster than Hivemind's group-
+// forming thread can keep up, so epochs stall at the floor and the
+// averaging time turns unstable (Section 3, observation 2). This bench
+// sweeps the model/TBS grid and reports how much of each epoch is floor
+// wait.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "core/cluster.h"
+#include "core/experiment.h"
+#include "models/calibration.h"
+
+namespace {
+
+using namespace hivesim;
+using models::ModelId;
+
+core::ExperimentResult Run(ModelId model, int tbs) {
+  core::ClusterSpec cluster;
+  cluster.groups = {core::LambdaA10s(2)};
+  core::ExperimentConfig config;
+  config.model = model;
+  config.target_batch_size = tbs;
+  config.duration_sec = 3600;
+  auto result = core::RunHivemindExperiment(cluster, config);
+  return result.ok() ? *result : core::ExperimentResult{};
+}
+
+void PrintAblation() {
+  bench::PrintHeading(
+      "Ablation: the 5 s matchmaking floor (2xA10, small models)");
+  TableWriter table({"Model", "TBS", "Accum (s)", "Epoch (s)",
+                     "Floor-bound?", "SPS"});
+  for (ModelId model :
+       {ModelId::kResNet18, ModelId::kResNet50, ModelId::kRobertaBase}) {
+    for (int tbs : {4096, 8192, 16384, 32768}) {
+      const auto r = Run(model, tbs);
+      const double epoch = r.train.avg_calc_sec + r.train.avg_comm_sec;
+      const bool bound =
+          r.train.avg_calc_sec < models::MinMatchmakingSec();
+      table.AddRow({std::string(models::ModelName(model)),
+                    StrFormat("%d", tbs),
+                    StrFormat("%.2f", r.train.avg_calc_sec),
+                    StrFormat("%.2f", epoch), bound ? "yes" : "no",
+                    StrFormat("%.0f", r.train.throughput_sps)});
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+  std::cout << "Once accumulation drops below "
+            << models::MinMatchmakingSec()
+            << " s, raising the TBS is the only way to keep scaling "
+               "(Section 3, observation 2).\n";
+}
+
+void BM_MatchmakingFloor(benchmark::State& state) {
+  const int tbs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.counters["sps"] =
+        Run(ModelId::kResNet18, tbs).train.throughput_sps;
+  }
+}
+BENCHMARK(BM_MatchmakingFloor)->Arg(4096)->Arg(32768)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

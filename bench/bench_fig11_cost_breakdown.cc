@@ -1,0 +1,161 @@
+// Regenerates Figure 11: hourly per-VM cost breakdowns.
+//  (a) The multi-cloud D-2 / D-3 experiments: spot instance + internal
+//      egress + external egress + B2 data loading, per provider.
+//  (b) The intercontinental C-8 experiment repriced under each provider's
+//      egress schedule — where geo-distributed egress becomes >90% of the
+//      GC bill and AWS's flat $0.02/GB wins.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "cloud/cost.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "core/catalog.h"
+#include "core/experiment.h"
+
+namespace {
+
+using namespace hivesim;
+using models::ModelId;
+
+core::ExperimentResult Run(const core::ClusterSpec& cluster, ModelId model) {
+  core::ExperimentConfig config;
+  config.model = model;
+  auto result = core::RunHivemindExperiment(cluster, config);
+  return result.ok() ? *result : core::ExperimentResult{};
+}
+
+/// Per-VM hourly breakdown averaged over the VMs of one provider.
+cloud::CostBreakdown PerVmHourly(const core::ExperimentResult& result,
+                                 net::Provider provider) {
+  cloud::CostBreakdown total;
+  int count = 0;
+  for (const cloud::VmUsage& usage : result.usages) {
+    if (usage.site.provider != provider) continue;
+    cloud::CostBreakdown c = cloud::PriceVm(usage);
+    total += c;
+    ++count;
+  }
+  if (count > 0 && !result.usages.empty()) {
+    const double hours = result.usages.front().hours;
+    total.instance /= count * hours;
+    total.internal_egress /= count * hours;
+    total.external_egress /= count * hours;
+    total.data_loading /= count * hours;
+  }
+  return total;
+}
+
+/// Reprices a usage under a different provider's instance + egress rates
+/// (the paper's C-8 what-if analysis).
+cloud::CostBreakdown RepriceAs(cloud::VmUsage usage,
+                               cloud::VmTypeId vm_type) {
+  const net::Provider provider = cloud::GetVmType(vm_type).provider;
+  usage.type = vm_type;
+  usage.site.provider = provider;
+  for (auto& [dst, bytes] : usage.egress_bytes_by_dst) {
+    if (dst.provider != net::Provider::kOnPremise) {
+      dst.provider = provider;  // Whole fleet moves to that provider.
+    }
+  }
+  return cloud::PriceVm(usage);
+}
+
+void AddBreakdownRow(TableWriter& table, const std::string& label,
+                     const cloud::CostBreakdown& c) {
+  table.AddRow({label, StrFormat("%.3f", c.instance),
+                StrFormat("%.3f", c.internal_egress),
+                StrFormat("%.3f", c.external_egress),
+                StrFormat("%.3f", c.data_loading),
+                StrFormat("%.3f", c.Total())});
+}
+
+void PrintFigure11() {
+  bench::PrintHeading(
+      "Fig. 11a: D-2 / D-3 per-VM hourly cost breakdown ($/h)");
+  TableWriter table({"Experiment / provider", "Instance", "Egress (int)",
+                     "Egress (ext)", "Data (B2)", "Total"});
+  const auto series = core::DSeries();
+  for (ModelId model : {ModelId::kConvNextLarge, ModelId::kRobertaXlm}) {
+    const char* domain =
+        model == ModelId::kConvNextLarge ? "CV" : "NLP";
+    const auto d2 = Run(series[1].cluster, model);
+    AddBreakdownRow(table, StrCat("D-2 ", domain, " / GC"),
+                    PerVmHourly(d2, net::Provider::kGoogleCloud));
+    AddBreakdownRow(table, StrCat("D-2 ", domain, " / AWS"),
+                    PerVmHourly(d2, net::Provider::kAws));
+    const auto d3 = Run(series[2].cluster, model);
+    AddBreakdownRow(table, StrCat("D-3 ", domain, " / GC"),
+                    PerVmHourly(d3, net::Provider::kGoogleCloud));
+    AddBreakdownRow(table, StrCat("D-3 ", domain, " / Azure"),
+                    PerVmHourly(d3, net::Provider::kAzure));
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+
+  bench::PrintHeading(
+      "Fig. 11b: C-8 NLP per-VM hourly cost under each provider ($/h)");
+  const auto c8 = Run(core::CSeries()[3].cluster, ModelId::kRobertaXlm);
+  TableWriter c8_table({"Provider", "Instance", "Egress (int)",
+                        "Egress (ext)", "Data (B2)", "Total"});
+  const struct {
+    const char* name;
+    cloud::VmTypeId type;
+  } providers[] = {{"GC", cloud::VmTypeId::kGcT4},
+                   {"AWS", cloud::VmTypeId::kAwsT4},
+                   {"Azure", cloud::VmTypeId::kAzureT4}};
+  cloud::CostBreakdown per_provider[3];
+  for (int p = 0; p < 3; ++p) {
+    cloud::CostBreakdown sum;
+    for (const cloud::VmUsage& usage : c8.usages) {
+      sum += RepriceAs(usage, providers[p].type);
+    }
+    const double divisor = c8.usages.size() * c8.usages.front().hours;
+    sum.instance /= divisor;
+    sum.internal_egress /= divisor;
+    sum.external_egress /= divisor;
+    sum.data_loading /= divisor;
+    per_provider[p] = sum;
+    AddBreakdownRow(c8_table, providers[p].name, sum);
+  }
+  c8_table.Print(std::cout);
+
+  bench::ComparisonTable anchors("Fig. 11 anchors");
+  const auto d2_cv = Run(series[1].cluster, ModelId::kConvNextLarge);
+  anchors.Add("CV data loading", "$/h per VM", 0.144,
+              PerVmHourly(d2_cv, net::Provider::kGoogleCloud).data_loading);
+  const auto d2_nlp = Run(series[1].cluster, ModelId::kRobertaXlm);
+  anchors.Add("NLP data loading", "$/h per VM", 0.083,
+              PerVmHourly(d2_nlp, net::Provider::kGoogleCloud).data_loading);
+  anchors.Add("C-8 NLP / GC", "external egress $/h", 4.329,
+              per_provider[0].external_egress);
+  anchors.Add("C-8 NLP / GC", "total $/h", 4.804, per_provider[0].Total());
+  anchors.Add("C-8 NLP / AWS", "total $/h", 1.376, per_provider[1].Total());
+  anchors.Add("C-8 NLP / Azure", "total $/h", 2.101,
+              per_provider[2].Total());
+  anchors.Print();
+  std::cout << "GC external egress share of total: "
+            << StrFormat("%.0f%%", per_provider[0].external_egress /
+                                       per_provider[0].Total() * 100)
+            << " (paper: >90%)\n";
+}
+
+void BM_CostBreakdown(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto c8 = Run(core::CSeries()[3].cluster, ModelId::kRobertaXlm);
+    state.counters["total_usd_per_h"] = c8.fleet_cost_per_hour;
+  }
+}
+BENCHMARK(BM_CostBreakdown)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure11();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

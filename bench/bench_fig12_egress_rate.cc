@@ -1,0 +1,76 @@
+// Regenerates Figure 12: the average egress rate per VM over each run for
+// 2-8 A10 GPUs across all CV and NLP models. The paper's counterintuitive
+// finding: smaller models have *lower* egress rates — even at RN18's much
+// higher averaging frequency, communication never dominates the epoch.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "common/units.h"
+#include "core/cluster.h"
+#include "core/experiment.h"
+
+namespace {
+
+using namespace hivesim;
+using models::ModelId;
+
+double AvgEgressMbps(ModelId model, int gpus) {
+  core::ClusterSpec cluster;
+  cluster.groups = {core::LambdaA10s(gpus)};
+  core::ExperimentConfig config;
+  config.model = model;
+  auto result = core::RunHivemindExperiment(cluster, config);
+  if (!result.ok()) return 0;
+  double sum = 0;
+  for (double rate : result->avg_egress_bps) sum += rate;
+  return BytesPerSecToMbps(sum / result->avg_egress_bps.size());
+}
+
+void PrintFigure12() {
+  bench::PrintHeading(
+      "Fig. 12: average per-VM egress rate on 2-8 A10 GPUs (Mb/s)");
+  TableWriter table({"Model", "2 GPUs", "4 GPUs", "8 GPUs"});
+  for (ModelId model : models::SuitabilityStudyModels()) {
+    table.AddRow({std::string(models::ModelName(model)),
+                  StrFormat("%.1f", AvgEgressMbps(model, 2)),
+                  StrFormat("%.1f", AvgEgressMbps(model, 4)),
+                  StrFormat("%.1f", AvgEgressMbps(model, 8))});
+  }
+  table.Print(std::cout);
+
+  bench::ComparisonTable checks("Fig. 12 shape checks");
+  // The trend: smaller model => lower egress rate, at every GPU count.
+  for (int gpus : {2, 4, 8}) {
+    checks.AddSimulatedOnly(
+        StrFormat("RN18 vs RN50 @%d GPUs", gpus), "egress ratio (<1)",
+        AvgEgressMbps(ModelId::kResNet18, gpus) /
+            AvgEgressMbps(ModelId::kResNet50, gpus));
+    checks.AddSimulatedOnly(
+        StrFormat("RN18 vs RXLM @%d GPUs", gpus), "egress ratio (<1)",
+        AvgEgressMbps(ModelId::kResNet18, gpus) /
+            AvgEgressMbps(ModelId::kRobertaXlm, gpus));
+  }
+  checks.Print();
+}
+
+void BM_EgressRate(benchmark::State& state) {
+  const int gpus = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.counters["mbps"] = AvgEgressMbps(ModelId::kResNet18, gpus);
+  }
+}
+BENCHMARK(BM_EgressRate)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure12();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Regenerates Figure 13 and Table 6: the consumer-grade hybrid setting
+// (E) — an on-prem RTX8000 augmented with {1,2,4,8} cloud GPUs from
+// (A) GC EU T4s, (B) GC US T4s, (C) Lambda US A10s — compared to the
+// pure-cloud 8xT4 and 8xA10 fleets.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "core/catalog.h"
+#include "core/experiment.h"
+
+namespace {
+
+using namespace hivesim;
+using core::HybridVariant;
+using models::ModelId;
+
+core::ExperimentResult Run(const core::ClusterSpec& cluster, ModelId model) {
+  core::ExperimentConfig config;
+  config.model = model;
+  auto result = core::RunHivemindExperiment(cluster, config);
+  return result.ok() ? *result : core::ExperimentResult{};
+}
+
+double CloudOnly(ModelId model, bool a10) {
+  core::ClusterSpec cluster;
+  cluster.groups = {a10 ? core::LambdaA10s(8) : core::GcT4s(8)};
+  return Run(cluster, model).train.throughput_sps;
+}
+
+void PrintSeries(ModelId model, const char* domain) {
+  bench::PrintHeading(
+      StrCat("Fig. 13 (", domain,
+             "): RTX8000 + cloud GPUs, throughput and granularity"));
+  TableWriter table({"Exp", "Cloud GPUs", "SPS", "Granularity",
+                     "vs RTX8000 baseline"});
+  const double baseline =
+      model == ModelId::kConvNextLarge ? 194.8 : 431.8;  // Table 6.
+  for (HybridVariant variant :
+       {HybridVariant::kEuT4, HybridVariant::kUsT4, HybridVariant::kUsA10}) {
+    for (const auto& experiment : core::ESeries(variant)) {
+      const auto r = Run(experiment.cluster, model);
+      table.AddRow({experiment.name,
+                    StrFormat("%d", experiment.cluster.TotalVms() - 1),
+                    StrFormat("%.1f", r.train.throughput_sps),
+                    StrFormat("%.2f", r.train.granularity),
+                    StrFormat("%+.0f%%",
+                              (r.train.throughput_sps / baseline - 1.0) *
+                                  100)});
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+}
+
+void PrintTable6() {
+  bench::ComparisonTable table(
+      "Table 6: hybrid vs cloud-only throughput (SPS)");
+  struct Row {
+    ModelId model;
+    const char* name;
+    double rtx, ea8, eb8, ec8, t4x8, a10x8;
+  };
+  const Row rows[] = {
+      {ModelId::kConvNextLarge, "CONV", 194.8, 316.8, 283.5, 429.3, 261.9,
+       620.6},
+      {ModelId::kRobertaXlm, "RXLM", 431.8, 556.7, 330.6, 223.7, 575.1,
+       1059.9},
+  };
+  for (const Row& row : rows) {
+    table.Add(StrCat(row.name, " E-A-8"), "SPS", row.ea8,
+              Run(core::ESeries(HybridVariant::kEuT4)[3].cluster, row.model)
+                  .train.throughput_sps);
+    table.Add(StrCat(row.name, " E-B-8"), "SPS", row.eb8,
+              Run(core::ESeries(HybridVariant::kUsT4)[3].cluster, row.model)
+                  .train.throughput_sps);
+    table.Add(StrCat(row.name, " E-C-8"), "SPS", row.ec8,
+              Run(core::ESeries(HybridVariant::kUsA10)[3].cluster, row.model)
+                  .train.throughput_sps);
+    table.Add(StrCat(row.name, " 8xT4"), "SPS", row.t4x8,
+              CloudOnly(row.model, /*a10=*/false));
+    table.Add(StrCat(row.name, " 8xA10"), "SPS", row.a10x8,
+              CloudOnly(row.model, /*a10=*/true));
+  }
+  table.Print();
+  std::cout << "Paper conclusion check: the 8xA10 cloud-only fleet beats "
+               "every hybrid setup for both models.\n";
+}
+
+void PrintFigure13() {
+  PrintSeries(ModelId::kConvNextLarge, "CV");
+  PrintSeries(ModelId::kRobertaXlm, "NLP");
+  PrintTable6();
+}
+
+void BM_HybridConsumer(benchmark::State& state) {
+  const auto series = core::ESeries(HybridVariant::kEuT4);
+  const auto& experiment = series[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    state.counters["cv_sps"] =
+        Run(experiment.cluster, ModelId::kConvNextLarge)
+            .train.throughput_sps;
+  }
+}
+BENCHMARK(BM_HybridConsumer)->Arg(0)->Arg(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure13();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Regenerates Figure 14: the server-grade hybrid setting (F) — an
+// on-prem DGX-2 (8xV100, 413 SPS CV / 1811 SPS NLP under DDP) augmented
+// with cloud GPUs. Only F-A-8 and F-C-8 beat the CV baseline; the NLP
+// experiments drown in communication (granularity down to ~0.02).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "core/catalog.h"
+#include "core/experiment.h"
+
+namespace {
+
+using namespace hivesim;
+using core::HybridVariant;
+using models::ModelId;
+
+core::ExperimentResult Run(const core::ClusterSpec& cluster, ModelId model) {
+  core::ExperimentConfig config;
+  config.model = model;
+  auto result = core::RunHivemindExperiment(cluster, config);
+  return result.ok() ? *result : core::ExperimentResult{};
+}
+
+void PrintSeries(ModelId model, const char* domain, double ddp_baseline) {
+  bench::PrintHeading(StrCat("Fig. 14 (", domain,
+                             "): DGX-2 + cloud GPUs (baseline ",
+                             StrFormat("%.0f", ddp_baseline), " SPS)"));
+  TableWriter table({"Exp", "Cloud GPUs", "SPS", "Granularity",
+                     "vs DGX-2 DDP baseline"});
+  for (HybridVariant variant :
+       {HybridVariant::kEuT4, HybridVariant::kUsT4, HybridVariant::kUsA10}) {
+    for (const auto& experiment : core::FSeries(variant)) {
+      const auto r = Run(experiment.cluster, model);
+      table.AddRow({experiment.name,
+                    StrFormat("%d", experiment.cluster.TotalVms() - 1),
+                    StrFormat("%.1f", r.train.throughput_sps),
+                    StrFormat("%.2f", r.train.granularity),
+                    StrFormat("%+.0f%%", (r.train.throughput_sps /
+                                              ddp_baseline -
+                                          1.0) *
+                                             100)});
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+}
+
+void PrintFigure14() {
+  const double cv_baseline =
+      baselines::DdpThroughput(baselines::Dgx2Node(ModelId::kConvNextLarge))
+          .value_or(0);
+  const double nlp_baseline =
+      baselines::DdpThroughput(baselines::Dgx2Node(ModelId::kRobertaXlm))
+          .value_or(0);
+  PrintSeries(ModelId::kConvNextLarge, "CV", cv_baseline);
+  PrintSeries(ModelId::kRobertaXlm, "NLP", nlp_baseline);
+
+  bench::ComparisonTable anchors("Fig. 14 anchors");
+  anchors.Add("DGX-2 CV baseline", "SPS", 413, cv_baseline);
+  anchors.Add("DGX-2 NLP baseline", "SPS", 1811, nlp_baseline);
+  const auto fa8 = Run(core::FSeries(HybridVariant::kEuT4)[3].cluster,
+                       ModelId::kConvNextLarge);
+  anchors.Add("F-A-8 CV", "SPS", 507, fa8.train.throughput_sps);
+  anchors.Add("F-A-8 CV", "granularity", 2.46, fa8.train.granularity);
+  const auto fc8 = Run(core::FSeries(HybridVariant::kUsA10)[3].cluster,
+                       ModelId::kConvNextLarge);
+  anchors.Add("F-C-8 CV", "SPS", 510, fc8.train.throughput_sps);
+  anchors.Add("F-C-8 CV", "granularity", 0.57, fc8.train.granularity);
+  const auto fb8_nlp = Run(core::FSeries(HybridVariant::kUsT4)[3].cluster,
+                           ModelId::kRobertaXlm);
+  anchors.AddSimulatedOnly("F-B-8 NLP (never reaches baseline)",
+                           "fraction of DGX-2",
+                           fb8_nlp.train.throughput_sps / nlp_baseline);
+  anchors.Print();
+}
+
+void BM_HybridServer(benchmark::State& state) {
+  const auto series = core::FSeries(HybridVariant::kEuT4);
+  const auto& experiment = series[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    state.counters["cv_sps"] =
+        Run(experiment.cluster, ModelId::kConvNextLarge)
+            .train.throughput_sps;
+  }
+}
+BENCHMARK(BM_HybridServer)->Arg(0)->Arg(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure14();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

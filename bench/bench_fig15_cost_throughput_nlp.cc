@@ -1,0 +1,97 @@
+// Regenerates Figure 15: cost-to-throughput tradeoff for RoBERTa-XLM.
+// Unlike the CV case (Fig. 1), the low-granularity NLP task makes the
+// DGX-2 the best value: the 8xA10 fleet is slower and pricier, and the
+// 8xT4 fleet's internal egress makes it the worst proposition.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/cluster.h"
+#include "core/experiment.h"
+
+namespace {
+
+using namespace hivesim;
+using models::ModelId;
+
+constexpr ModelId kModel = ModelId::kRobertaXlm;
+
+void PrintFigure15() {
+  bench::ComparisonTable sps("Fig. 15 - RoBERTa-XLM throughput (SPS)");
+  bench::ComparisonTable cost(
+      "Fig. 15 - RoBERTa-XLM cost per 1M samples ($, spot, excl. data)");
+
+  auto dgx =
+      core::RunCentralizedBaseline(cloud::VmTypeId::kGcDgx2, kModel);
+  sps.Add("DGX-2 (8xV100)", "SPS", 1811, dgx->throughput_sps);
+  cost.Add("DGX-2 (8xV100)", "$/1M", 0.97, dgx->spot_cost_per_million);
+
+  core::ClusterSpec t4_fleet;
+  t4_fleet.groups = {core::GcT4s(8)};
+  core::ExperimentConfig config;
+  config.model = kModel;
+  auto t4 = core::RunHivemindExperiment(t4_fleet, config);
+  sps.Add("8xT4 Hivemind", "SPS", 575.1, t4->train.throughput_sps);
+  sps.AddSimulatedOnly("8xT4 Hivemind", "granularity",
+                       t4->train.granularity);
+  cost.AddSimulatedOnly("8xT4 Hivemind", "$/1M",
+                        t4->cost_per_million_excl_data);
+
+  core::ClusterSpec a10_fleet;
+  a10_fleet.groups = {core::LambdaA10s(8)};
+  auto a10 = core::RunHivemindExperiment(a10_fleet, config);
+  sps.Add("8xA10 Hivemind", "SPS", 1059.9, a10->train.throughput_sps);
+  cost.AddSimulatedOnly("8xA10 Hivemind", "$/1M",
+                        a10->cost_per_million_excl_data);
+
+  sps.Print();
+  cost.Print();
+
+  std::cout << "Claim checks (Fig. 15):\n"
+            << "  DGX-2 fastest:            "
+            << (dgx->throughput_sps > a10->train.throughput_sps ? "yes"
+                                                                : "NO")
+            << "\n  DGX-2 cheapest per 1M:    "
+            << (dgx->spot_cost_per_million <
+                        a10->cost_per_million_excl_data &&
+                    dgx->spot_cost_per_million <
+                        t4->cost_per_million_excl_data
+                    ? "yes"
+                    : "NO")
+            << "\n  8xT4 worst value (egress): "
+            << (t4->cost_per_million_excl_data >
+                        a10->cost_per_million_excl_data
+                    ? "yes"
+                    : "NO")
+            << "\n  8xT4 internal egress > half its bill: "
+            << (t4->fleet_cost.internal_egress >
+                        0.5 * (t4->fleet_cost.Total() -
+                               t4->fleet_cost.data_loading)
+                    ? "yes"
+                    : "NO")
+            << "\n";
+}
+
+void BM_NlpFleets(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ClusterSpec cluster;
+    cluster.groups = {core::GcT4s(8)};
+    core::ExperimentConfig config;
+    config.model = kModel;
+    auto result = core::RunHivemindExperiment(cluster, config);
+    state.counters["usd_per_1M"] =
+        result.ok() ? result->cost_per_million_excl_data : 0;
+  }
+}
+BENCHMARK(BM_NlpFleets)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure15();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

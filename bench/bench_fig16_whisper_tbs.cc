@@ -1,0 +1,91 @@
+// Regenerates Figure 16 (Section 11, ASR case study): WhisperSmall on GC
+// T4 fleets with the target batch size raised from the original 256 to
+// 512 and 1024 to fight the tiny granularity. Speedups of ~1.27x (TBS
+// 512) and ~2.2x (TBS 1024) appear only at the larger batch sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "core/cluster.h"
+#include "core/experiment.h"
+#include "models/calibration.h"
+
+namespace {
+
+using namespace hivesim;
+using models::ModelId;
+
+core::ExperimentResult Run(ModelId model, int gpus, int tbs) {
+  core::ClusterSpec cluster;
+  cluster.groups = {core::GcT4s(gpus)};
+  core::ExperimentConfig config;
+  config.model = model;
+  config.target_batch_size = tbs;
+  config.duration_sec = 3 * 3600;
+  auto result = core::RunHivemindExperiment(cluster, config);
+  return result.ok() ? *result : core::ExperimentResult{};
+}
+
+void PrintFigure16() {
+  const double baseline = 12.7;  // WhisperSmall on one T4 (Section 11).
+  bench::PrintHeading(
+      "Fig. 16: WhisperSmall on GC T4s with growing TBS");
+  TableWriter table({"TBS", "GPUs", "SPS", "Granularity", "Speedup"});
+  for (int tbs : {256, 512, 1024}) {
+    for (int gpus : {2, 4, 8}) {
+      const auto r = Run(ModelId::kWhisperSmall, gpus, tbs);
+      table.AddRow({StrFormat("%d", tbs), StrFormat("%d", gpus),
+                    StrFormat("%.1f", r.train.throughput_sps),
+                    StrFormat("%.2f", r.train.granularity),
+                    StrFormat("%.2fx",
+                              r.train.throughput_sps / baseline)});
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+
+  bench::PrintHeading(
+      "Section 11: granularity of all Whisper sizes at the original TBS");
+  TableWriter gran({"Model", "Granularity @ TBS 256, 8xT4"});
+  for (ModelId model : models::AsrModels()) {
+    gran.AddRow({std::string(models::ModelName(model)),
+                 StrFormat("%.2f",
+                           Run(model, 8, 256).train.granularity)});
+  }
+  gran.Print(std::cout);
+
+  bench::ComparisonTable anchors("Fig. 16 anchors");
+  anchors.Add("8xT4 @ TBS 1024", "SPS", 28,
+              Run(ModelId::kWhisperSmall, 8, 1024).train.throughput_sps);
+  anchors.Add("8xT4 @ TBS 1024", "speedup", 2.2,
+              Run(ModelId::kWhisperSmall, 8, 1024).train.throughput_sps /
+                  baseline);
+  anchors.Add("8xT4 @ TBS 512", "speedup", 1.27,
+              Run(ModelId::kWhisperSmall, 8, 512).train.throughput_sps /
+                  baseline);
+  anchors.Add("2xT4 @ TBS 256", "granularity", 1.8,
+              Run(ModelId::kWhisperSmall, 2, 256).train.granularity);
+  anchors.Print();
+}
+
+void BM_WhisperTbs(benchmark::State& state) {
+  const int tbs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.counters["sps"] =
+        Run(ModelId::kWhisperSmall, 8, tbs).train.throughput_sps;
+  }
+}
+BENCHMARK(BM_WhisperTbs)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure16();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Regenerates Figure 1: cost-to-throughput tradeoff for ConvNextLarge
+// across instance types. The distributed spot setups (8xT4, 8xA10) must
+// land faster (8xA10) and cheaper per sample (8xT4) than the DGX-2.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/catalog.h"
+#include "core/experiment.h"
+
+namespace {
+
+using namespace hivesim;
+using core::ExperimentConfig;
+using core::RunCentralizedBaseline;
+using core::RunHivemindExperiment;
+using models::ModelId;
+
+constexpr ModelId kModel = ModelId::kConvNextLarge;
+
+core::ExperimentResult RunFleet(const core::ClusterSpec& cluster) {
+  ExperimentConfig config;
+  config.model = kModel;
+  auto result = RunHivemindExperiment(cluster, config);
+  if (!result.ok()) {
+    std::cerr << "experiment failed: " << result.status().ToString() << "\n";
+    return core::ExperimentResult{};
+  }
+  return *result;
+}
+
+void PrintFigure1() {
+  bench::ComparisonTable sps("Fig. 1 - ConvNextLarge throughput (SPS)");
+  bench::ComparisonTable cost(
+      "Fig. 1 - ConvNextLarge cost per 1M samples ($, spot, excl. data)");
+
+  auto centralized = [&](const char* name, cloud::VmTypeId type,
+                         double paper_sps, double paper_cost) {
+    auto result = RunCentralizedBaseline(type, kModel);
+    if (!result.ok()) return;
+    sps.Add(name, "SPS", paper_sps, result->throughput_sps);
+    cost.Add(name, "$/1M", paper_cost, result->spot_cost_per_million);
+  };
+  centralized("1xT4 (GC)", cloud::VmTypeId::kGcT4, 80, 0.62);
+  centralized("1xA10 (Lambda)", cloud::VmTypeId::kLambdaA10, 185, 0.90);
+  centralized("DGX-2 (8xV100)", cloud::VmTypeId::kGcDgx2, 413, 4.24);
+  centralized("4xT4 DDP (GC)", cloud::VmTypeId::kGc4xT4, 207, 0.96);
+
+  // The circled decentralized setups.
+  core::ClusterSpec t4_fleet;
+  t4_fleet.groups = {core::GcT4s(8)};
+  const auto t4 = RunFleet(t4_fleet);
+  sps.Add("8xT4 Hivemind", "SPS", 261.9, t4.train.throughput_sps);
+  // Full metering bills every intra-zone gradient byte at $0.01/GB; the
+  // paper extrapolated a lower per-VM egress figure from the 4-peer D
+  // runs, which lands near the instance-only number.
+  cost.Add("8xT4 (full egress metering)", "$/1M", 1.77,
+           t4.cost_per_million_excl_data);
+  const double t4_hours = t4.usages.front().hours;
+  cost.Add("8xT4 (instance only)", "$/1M", 1.77,
+           cloud::CostPerMillionSamples(t4.fleet_cost.instance / t4_hours,
+                                        t4.train.throughput_sps));
+
+  core::ClusterSpec a10_fleet;
+  a10_fleet.groups = {core::LambdaA10s(8)};
+  const auto a10 = RunFleet(a10_fleet);
+  sps.Add("8xA10 Hivemind", "SPS", 620.6, a10.train.throughput_sps);
+  cost.Add("8xA10 Hivemind", "$/1M", 2.15, a10.cost_per_million_excl_data);
+
+  sps.Print();
+  cost.Print();
+
+  // The figure's headline claims, verified:
+  auto dgx = RunCentralizedBaseline(cloud::VmTypeId::kGcDgx2, kModel);
+  std::cout << "Claim checks vs DGX-2:\n"
+            << "  8xA10 faster than DGX-2:  "
+            << (a10.train.throughput_sps > dgx->throughput_sps ? "yes" : "NO")
+            << "\n  8xT4 cheaper per sample:  "
+            << (t4.cost_per_million_excl_data < dgx->spot_cost_per_million
+                    ? "yes"
+                    : "NO")
+            << "\n  8xA10 cheaper per sample: "
+            << (a10.cost_per_million_excl_data < dgx->spot_cost_per_million
+                    ? "yes"
+                    : "NO")
+            << "\n";
+}
+
+void BM_Fleet8xT4(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ClusterSpec cluster;
+    cluster.groups = {core::GcT4s(8)};
+    auto result = RunFleet(cluster);
+    state.counters["sps"] = result.train.throughput_sps;
+    state.counters["usd_per_1M"] = result.cost_per_million_excl_data;
+  }
+}
+BENCHMARK(BM_Fleet8xT4)->Unit(benchmark::kMillisecond);
+
+void BM_Fleet8xA10(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ClusterSpec cluster;
+    cluster.groups = {core::LambdaA10s(8)};
+    auto result = RunFleet(cluster);
+    state.counters["sps"] = result.train.throughput_sps;
+    state.counters["usd_per_1M"] = result.cost_per_million_excl_data;
+  }
+}
+BENCHMARK(BM_Fleet8xA10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

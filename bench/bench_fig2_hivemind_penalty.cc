@@ -1,0 +1,93 @@
+// Regenerates Figure 2: the Hivemind penalty on normalized (per-GPU)
+// throughputs for all CV and NLP models on two A10 GPUs — baseline vs.
+// "hivemind local" (gradient-accumulation overhead) vs. "hivemind global"
+// (local plus the averaging step).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "core/cluster.h"
+#include "core/experiment.h"
+#include "models/calibration.h"
+
+namespace {
+
+using namespace hivesim;
+using models::ModelId;
+
+struct PenaltyRow {
+  double baseline = 0;      // Per-GPU baseline SPS.
+  double local = 0;         // Per-GPU hivemind-local SPS.
+  double global = 0;        // Per-GPU hivemind-global SPS.
+};
+
+PenaltyRow MeasurePenalty(ModelId model) {
+  PenaltyRow row;
+  row.baseline = models::BaselineSps(model, compute::GpuModel::kA10)
+                     .value_or(0);
+  row.local = row.baseline * models::HivemindLocalPenalty(model);
+
+  core::ClusterSpec cluster;
+  cluster.groups = {core::LambdaA10s(2)};
+  core::ExperimentConfig config;
+  config.model = model;
+  auto result = core::RunHivemindExperiment(cluster, config);
+  if (result.ok()) {
+    row.global = result->train.throughput_sps / 2.0;
+  }
+  return row;
+}
+
+void PrintFigure2() {
+  bench::PrintHeading(
+      "Fig. 2: Hivemind penalty on normalized throughputs (2xA10)");
+  TableWriter table({"Model", "Baseline SPS/GPU", "Local SPS/GPU",
+                     "Global SPS/GPU", "Local/Baseline", "Global/Local"});
+  for (ModelId model : models::SuitabilityStudyModels()) {
+    const PenaltyRow row = MeasurePenalty(model);
+    table.AddRow({std::string(models::ModelName(model)),
+                  StrFormat("%.1f", row.baseline),
+                  StrFormat("%.1f", row.local),
+                  StrFormat("%.1f", row.global),
+                  StrFormat("%.0f%%", row.local / row.baseline * 100),
+                  StrFormat("%.0f%%", row.global / row.local * 100)});
+  }
+  table.Print(std::cout);
+
+  bench::ComparisonTable anchors("Fig. 2 anchor checks");
+  const PenaltyRow rn152 = MeasurePenalty(ModelId::kResNet152);
+  anchors.Add("RN152", "local/baseline (best case)", 0.78,
+              rn152.local / rn152.baseline);
+  const PenaltyRow conv = MeasurePenalty(ModelId::kConvNextLarge);
+  anchors.Add("CONV", "local/baseline (worst case)", 0.48,
+              conv.local / conv.baseline);
+  anchors.Add("CONV", "global/local", 0.97, conv.global / conv.local);
+  const PenaltyRow rbase = MeasurePenalty(ModelId::kRobertaBase);
+  anchors.Add("RBase", "global/local", 0.87, rbase.global / rbase.local);
+  anchors.Print();
+}
+
+void BM_HivemindPenalty(benchmark::State& state) {
+  const auto model = static_cast<ModelId>(state.range(0));
+  for (auto _ : state) {
+    const PenaltyRow row = MeasurePenalty(model);
+    state.counters["global_sps_per_gpu"] = row.global;
+  }
+}
+BENCHMARK(BM_HivemindPenalty)
+    ->Arg(static_cast<int>(ModelId::kConvNextLarge))
+    ->Arg(static_cast<int>(ModelId::kRobertaXlm))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

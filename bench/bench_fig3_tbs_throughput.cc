@@ -1,0 +1,79 @@
+// Regenerates Figure 3: throughput of the single-GPU baselines versus the
+// two-GPU Hivemind runs across target batch sizes (8K, 16K, 32K) for all
+// CV and NLP models on A10s. Doubling the TBS halves the per-sample
+// communication cost; the smallest models (RN18, RBase) destabilize at
+// 8K because accumulation beats the 5 s matchmaking floor.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "core/cluster.h"
+#include "core/experiment.h"
+#include "models/calibration.h"
+
+namespace {
+
+using namespace hivesim;
+using models::ModelId;
+
+double RunTwoGpu(ModelId model, int tbs) {
+  core::ClusterSpec cluster;
+  cluster.groups = {core::LambdaA10s(2)};
+  core::ExperimentConfig config;
+  config.model = model;
+  config.target_batch_size = tbs;
+  config.duration_sec = 3600;
+  auto result = core::RunHivemindExperiment(cluster, config);
+  return result.ok() ? result->train.throughput_sps : 0;
+}
+
+void PrintFigure3() {
+  bench::PrintHeading(
+      "Fig. 3: baseline vs 2xA10 Hivemind throughput across TBS");
+  TableWriter table({"Model", "Baseline SPS", "2xA10 @8K", "2xA10 @16K",
+                     "2xA10 @32K"});
+  for (ModelId model : models::SuitabilityStudyModels()) {
+    const double baseline =
+        models::BaselineSps(model, compute::GpuModel::kA10).value_or(0);
+    table.AddRow({std::string(models::ModelName(model)),
+                  StrFormat("%.0f", baseline),
+                  StrFormat("%.0f", RunTwoGpu(model, 8192)),
+                  StrFormat("%.0f", RunTwoGpu(model, 16384)),
+                  StrFormat("%.0f", RunTwoGpu(model, 32768))});
+  }
+  table.Print(std::cout);
+
+  bench::ComparisonTable checks("Fig. 3 shape checks");
+  // TBS growth monotonically helps the large models.
+  checks.AddSimulatedOnly(
+      "CONV", "sps(32K)/sps(8K)",
+      RunTwoGpu(ModelId::kConvNextLarge, 32768) /
+          RunTwoGpu(ModelId::kConvNextLarge, 8192));
+  checks.AddSimulatedOnly(
+      "RXLM", "sps(32K)/sps(8K)",
+      RunTwoGpu(ModelId::kRobertaXlm, 32768) /
+          RunTwoGpu(ModelId::kRobertaXlm, 8192));
+  checks.Print();
+}
+
+void BM_TbsSweep(benchmark::State& state) {
+  const int tbs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.counters["sps"] = RunTwoGpu(ModelId::kConvNextLarge, tbs);
+  }
+}
+BENCHMARK(BM_TbsSweep)->Arg(8192)->Arg(16384)->Arg(32768)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

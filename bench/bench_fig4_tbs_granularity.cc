@@ -1,0 +1,86 @@
+// Regenerates Figure 4: target batch size vs. total per-epoch training
+// time split into calculation and communication, with the granularity
+// above each bar (2xA10). At TBS 32K every model's granularity lands
+// between 4.2 (RXLM) and 21.6 (CONV), the paper's threshold for "strong
+// scaling potential".
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "core/cluster.h"
+#include "core/experiment.h"
+
+namespace {
+
+using namespace hivesim;
+using models::ModelId;
+
+core::ExperimentResult Run(ModelId model, int tbs) {
+  core::ClusterSpec cluster;
+  cluster.groups = {core::LambdaA10s(2)};
+  core::ExperimentConfig config;
+  config.model = model;
+  config.target_batch_size = tbs;
+  config.duration_sec = 3600;
+  auto result = core::RunHivemindExperiment(cluster, config);
+  return result.ok() ? *result : core::ExperimentResult{};
+}
+
+void PrintFigure4() {
+  bench::PrintHeading(
+      "Fig. 4: TBS vs per-epoch calc/comm time and granularity (2xA10)");
+  TableWriter table({"Model", "TBS", "Calc (s)", "Comm (s)", "Epoch (s)",
+                     "Granularity"});
+  for (ModelId model : models::SuitabilityStudyModels()) {
+    for (int tbs : {8192, 16384, 32768}) {
+      const auto r = Run(model, tbs);
+      table.AddRow({std::string(models::ModelName(model)),
+                    StrFormat("%d", tbs),
+                    StrFormat("%.1f", r.train.avg_calc_sec),
+                    StrFormat("%.1f", r.train.avg_comm_sec),
+                    StrFormat("%.1f",
+                              r.train.avg_calc_sec + r.train.avg_comm_sec),
+                    StrFormat("%.2f", r.train.granularity)});
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+
+  bench::ComparisonTable anchors("Fig. 4 anchors at TBS 32K");
+  anchors.Add("CONV", "granularity (max of Fig. 4)", 21.6,
+              Run(ModelId::kConvNextLarge, 32768).train.granularity);
+  anchors.Add("RXLM", "granularity (min of Fig. 4)", 4.2,
+              Run(ModelId::kRobertaXlm, 32768).train.granularity);
+  anchors.Print();
+
+  // Shape check: doubling the TBS roughly doubles granularity (the
+  // communication time stays constant).
+  const double g16 = Run(ModelId::kResNet152, 16384).train.granularity;
+  const double g32 = Run(ModelId::kResNet152, 32768).train.granularity;
+  std::cout << StrFormat(
+      "RN152 granularity doubles with TBS: g(32K)/g(16K) = %.2f\n",
+      g32 / g16);
+}
+
+void BM_GranularitySweep(benchmark::State& state) {
+  const int tbs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.counters["granularity"] =
+        Run(ModelId::kRobertaXlm, tbs).train.granularity;
+  }
+}
+BENCHMARK(BM_GranularitySweep)->Arg(8192)->Arg(32768)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Regenerates Figure 5: throughput from 1 to 8 A10 GPUs for all CV/NLP
+// models at TBS 32K. The paper's anchors: best speedup 4.37x (RN152),
+// lowest 2.29x (RXLM) at 8 GPUs; RN18's per-GPU contribution falls from
+// 0.7 (2 GPUs) to 0.4 (8 GPUs).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "core/cluster.h"
+#include "core/experiment.h"
+#include "models/calibration.h"
+
+namespace {
+
+using namespace hivesim;
+using models::ModelId;
+
+double RunA10s(ModelId model, int gpus) {
+  if (gpus == 1) {
+    return models::BaselineSps(model, compute::GpuModel::kA10).value_or(0);
+  }
+  core::ClusterSpec cluster;
+  cluster.groups = {core::LambdaA10s(gpus)};
+  core::ExperimentConfig config;
+  config.model = model;
+  auto result = core::RunHivemindExperiment(cluster, config);
+  return result.ok() ? result->train.throughput_sps : 0;
+}
+
+void PrintFigure5() {
+  bench::PrintHeading("Fig. 5: throughput from 1 to 8 A10 GPUs (TBS 32K)");
+  TableWriter table(
+      {"Model", "1 GPU", "2 GPUs", "3 GPUs", "4 GPUs", "8 GPUs",
+       "Speedup@8"});
+  for (ModelId model : models::SuitabilityStudyModels()) {
+    const double base = RunA10s(model, 1);
+    const double at8 = RunA10s(model, 8);
+    table.AddRow({std::string(models::ModelName(model)),
+                  StrFormat("%.0f", base),
+                  StrFormat("%.0f", RunA10s(model, 2)),
+                  StrFormat("%.0f", RunA10s(model, 3)),
+                  StrFormat("%.0f", RunA10s(model, 4)),
+                  StrFormat("%.0f", at8),
+                  StrFormat("%.2fx", at8 / base)});
+  }
+  table.Print(std::cout);
+
+  bench::ComparisonTable anchors("Fig. 5 speedup anchors at 8 GPUs");
+  anchors.Add("RN152", "speedup (paper's best)", 4.37,
+              RunA10s(ModelId::kResNet152, 8) /
+                  RunA10s(ModelId::kResNet152, 1));
+  anchors.Add("RXLM", "speedup (paper's worst)", 2.29,
+              RunA10s(ModelId::kRobertaXlm, 8) /
+                  RunA10s(ModelId::kRobertaXlm, 1));
+  anchors.Add("RN18", "per-GPU contribution @2", 0.7,
+              RunA10s(ModelId::kResNet18, 2) /
+                  RunA10s(ModelId::kResNet18, 1) / 2);
+  anchors.Add("RN18", "per-GPU contribution @8", 0.4,
+              RunA10s(ModelId::kResNet18, 8) /
+                  RunA10s(ModelId::kResNet18, 1) / 8);
+  anchors.Print();
+}
+
+void BM_MultiGpu(benchmark::State& state) {
+  const int gpus = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.counters["sps"] = RunA10s(ModelId::kResNet152, gpus);
+  }
+}
+BENCHMARK(BM_MultiGpu)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure5();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

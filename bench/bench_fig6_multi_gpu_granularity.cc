@@ -1,0 +1,75 @@
+// Regenerates Figure 6: multi-GPU scalability at TBS 32K — per-epoch
+// calc/comm split and granularity from 2 to 8 A10s. Granularity shrinks
+// as GPUs are added (calc time halves, communication does not); RN18
+// bottoms out near 1.0 at 8 GPUs.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "core/cluster.h"
+#include "core/experiment.h"
+
+namespace {
+
+using namespace hivesim;
+using models::ModelId;
+
+core::ExperimentResult Run(ModelId model, int gpus) {
+  core::ClusterSpec cluster;
+  cluster.groups = {core::LambdaA10s(gpus)};
+  core::ExperimentConfig config;
+  config.model = model;
+  auto result = core::RunHivemindExperiment(cluster, config);
+  return result.ok() ? *result : core::ExperimentResult{};
+}
+
+void PrintFigure6() {
+  bench::PrintHeading(
+      "Fig. 6: multi-GPU calc/comm split and granularity (TBS 32K, A10s)");
+  TableWriter table({"Model", "GPUs", "Calc (s)", "Comm (s)", "Granularity"});
+  for (ModelId model : models::SuitabilityStudyModels()) {
+    for (int gpus : {2, 3, 4, 8}) {
+      const auto r = Run(model, gpus);
+      table.AddRow({std::string(models::ModelName(model)),
+                    StrFormat("%d", gpus),
+                    StrFormat("%.1f", r.train.avg_calc_sec),
+                    StrFormat("%.1f", r.train.avg_comm_sec),
+                    StrFormat("%.2f", r.train.granularity)});
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+
+  bench::ComparisonTable anchors("Fig. 6 anchors");
+  anchors.Add("RN18 @8 GPUs", "granularity", 1.0,
+              Run(ModelId::kResNet18, 8).train.granularity);
+  // Section 3(3): RXLM averaging ~ 8.4s wall at 2 GPUs, ~14.4s at 8.
+  anchors.Add("RXLM @2 GPUs", "comm wall (s)", 8.4,
+              Run(ModelId::kRobertaXlm, 2).train.avg_comm_sec);
+  anchors.Add("RXLM @8 GPUs", "comm wall (s)", 14.4,
+              Run(ModelId::kRobertaXlm, 8).train.avg_comm_sec);
+  anchors.Print();
+}
+
+void BM_GranularityVsGpus(benchmark::State& state) {
+  const int gpus = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.counters["granularity"] =
+        Run(ModelId::kResNet18, gpus).train.granularity;
+  }
+}
+BENCHMARK(BM_GranularityVsGpus)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure6();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

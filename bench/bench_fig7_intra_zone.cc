@@ -1,0 +1,88 @@
+// Regenerates Figure 7 (and the A rows of Table 2): intra-zone scaling of
+// ConvNextLarge (CV) and RoBERTa-XLM (NLP) on 1-8 GC T4 VMs in
+// us-central1, with granularity per configuration.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "core/catalog.h"
+#include "core/experiment.h"
+
+namespace {
+
+using namespace hivesim;
+using models::ModelId;
+
+core::ExperimentResult RunNamed(const core::NamedExperiment& experiment,
+                                ModelId model) {
+  core::ExperimentConfig config;
+  config.model = model;
+  auto result = core::RunHivemindExperiment(experiment.cluster, config);
+  return result.ok() ? *result : core::ExperimentResult{};
+}
+
+void PrintFigure7() {
+  bench::PrintHeading("Table 2 (A rows) + Fig. 7: intra-zone scalability");
+  TableWriter table({"Exp", "VMs", "CV SPS", "CV gran", "CV speedup",
+                     "NLP SPS", "NLP gran", "NLP speedup"});
+  double cv_base = 0, nlp_base = 0;
+  for (const auto& experiment : core::ASeries()) {
+    const auto cv = RunNamed(experiment, ModelId::kConvNextLarge);
+    const auto nlp = RunNamed(experiment, ModelId::kRobertaXlm);
+    if (experiment.name == "A-1") {
+      // The A-1 bar is the plain single-GPU baseline (no Hivemind).
+      cv_base = 80.0;
+      nlp_base = 209.0;
+      table.AddRow({experiment.name, "1", StrFormat("%.1f", cv_base), "-",
+                    "1.00x", StrFormat("%.1f", nlp_base), "-", "1.00x"});
+      continue;
+    }
+    table.AddRow({experiment.name,
+                  StrFormat("%d", experiment.cluster.TotalVms()),
+                  StrFormat("%.1f", cv.train.throughput_sps),
+                  StrFormat("%.2f", cv.train.granularity),
+                  StrFormat("%.2fx", cv.train.throughput_sps / cv_base),
+                  StrFormat("%.1f", nlp.train.throughput_sps),
+                  StrFormat("%.2f", nlp.train.granularity),
+                  StrFormat("%.2fx", nlp.train.throughput_sps / nlp_base)});
+  }
+  table.Print(std::cout);
+
+  bench::ComparisonTable anchors("Fig. 7 anchors");
+  const auto& series = core::ASeries();
+  const auto a2_nlp = RunNamed(series[1], ModelId::kRobertaXlm);
+  anchors.Add("A-2 NLP", "SPS", 211.4, a2_nlp.train.throughput_sps);
+  const auto a8_cv = RunNamed(series[5], ModelId::kConvNextLarge);
+  anchors.Add("A-8 CV", "SPS", 261.9, a8_cv.train.throughput_sps);
+  anchors.Add("A-8 CV", "speedup", 3.2, a8_cv.train.throughput_sps / 80.0);
+  anchors.Add("A-8 CV", "granularity", 5.19, a8_cv.train.granularity);
+  const auto a8_nlp = RunNamed(series[5], ModelId::kRobertaXlm);
+  anchors.Add("A-8 NLP", "SPS", 575.1, a8_nlp.train.throughput_sps);
+  anchors.Add("A-8 NLP", "speedup", 2.75,
+              a8_nlp.train.throughput_sps / 209.0);
+  anchors.Add("A-8 NLP", "granularity", 1.15, a8_nlp.train.granularity);
+  anchors.Print();
+}
+
+void BM_IntraZone(benchmark::State& state) {
+  const auto& series = core::ASeries();
+  const auto& experiment = series[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    state.counters["cv_sps"] =
+        RunNamed(experiment, ModelId::kConvNextLarge).train.throughput_sps;
+  }
+}
+BENCHMARK(BM_IntraZone)->Arg(1)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure7();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

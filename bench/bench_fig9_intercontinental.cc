@@ -1,0 +1,107 @@
+// Regenerates Figure 9: intercontinental scalability (C series) — VMs
+// spread over up to four continents. With one VM per continent the
+// averaging runs as a star through the best-connected US node; with two
+// VMs per continent the groups average locally first. CV stays within a
+// few percent of the local runs while NLP loses 34-41%.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "common/units.h"
+#include "core/catalog.h"
+#include "core/experiment.h"
+
+namespace {
+
+using namespace hivesim;
+using models::ModelId;
+
+core::ExperimentResult Run(const core::ClusterSpec& cluster, ModelId model) {
+  core::ExperimentConfig config;
+  config.model = model;
+  auto result = core::RunHivemindExperiment(cluster, config);
+  return result.ok() ? *result : core::ExperimentResult{};
+}
+
+core::ClusterSpec ASpec(int vms) {
+  core::ClusterSpec cluster;
+  cluster.groups = {core::GcT4s(vms, net::kGcUs)};
+  return cluster;
+}
+
+void PrintFigure9() {
+  bench::PrintHeading("Fig. 9: intercontinental (C) vs intra-zone (A)");
+  TableWriter table({"Exp", "CV SPS", "CV vs A", "NLP SPS", "NLP vs A",
+                     "NLP gran", "Peak egress (max VM)"});
+  for (const auto& experiment : core::CSeries()) {
+    const int vms = experiment.cluster.TotalVms();
+    const auto cv = Run(experiment.cluster, ModelId::kConvNextLarge);
+    const auto nlp = Run(experiment.cluster, ModelId::kRobertaXlm);
+    const auto a_cv = Run(ASpec(vms), ModelId::kConvNextLarge);
+    const auto a_nlp = Run(ASpec(vms), ModelId::kRobertaXlm);
+    double peak = 0;
+    for (double p : nlp.peak_egress_bps) peak = std::max(peak, p);
+    table.AddRow(
+        {experiment.name, StrFormat("%.1f", cv.train.throughput_sps),
+         StrFormat("%+.0f%%",
+                   (cv.train.throughput_sps / a_cv.train.throughput_sps -
+                    1.0) *
+                       100),
+         StrFormat("%.1f", nlp.train.throughput_sps),
+         StrFormat("%+.0f%%",
+                   (nlp.train.throughput_sps / a_nlp.train.throughput_sps -
+                    1.0) *
+                       100),
+         StrFormat("%.2f", nlp.train.granularity),
+         FormatRate(peak)});
+  }
+  table.Print(std::cout);
+
+  bench::ComparisonTable anchors("Fig. 9 anchors");
+  const auto& series = core::CSeries();
+  // C-3 vs A-3: CV only 5% slower, NLP -34%.
+  const auto c3_cv = Run(series[0].cluster, ModelId::kConvNextLarge);
+  const auto a3_cv = Run(ASpec(3), ModelId::kConvNextLarge);
+  anchors.Add("C-3 CV", "relative to A-3", 0.95,
+              c3_cv.train.throughput_sps / a3_cv.train.throughput_sps);
+  const auto c3_nlp = Run(series[0].cluster, ModelId::kRobertaXlm);
+  const auto a3_nlp = Run(ASpec(3), ModelId::kRobertaXlm);
+  anchors.Add("C-3 NLP", "relative to A-3", 0.66,
+              c3_nlp.train.throughput_sps / a3_nlp.train.throughput_sps);
+  // C-8: CV -7% (speedup 3.02x), NLP -41%, granularities 3.33 / 0.4.
+  const auto c8_cv = Run(series[3].cluster, ModelId::kConvNextLarge);
+  anchors.Add("C-8 CV", "speedup vs A-1", 3.02,
+              c8_cv.train.throughput_sps / 80.0);
+  anchors.Add("C-8 CV", "granularity", 3.33, c8_cv.train.granularity);
+  const auto c8_nlp = Run(series[3].cluster, ModelId::kRobertaXlm);
+  const auto a8_nlp = Run(ASpec(8), ModelId::kRobertaXlm);
+  anchors.Add("C-8 NLP", "relative to A-8", 0.59,
+              c8_nlp.train.throughput_sps / a8_nlp.train.throughput_sps);
+  anchors.Add("C-8 NLP", "granularity", 0.4, c8_nlp.train.granularity);
+  anchors.Print();
+}
+
+void BM_Intercontinental(benchmark::State& state) {
+  const auto& series = core::CSeries();
+  const auto& experiment = series[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    state.counters["cv_sps"] =
+        Run(experiment.cluster, ModelId::kConvNextLarge)
+            .train.throughput_sps;
+  }
+}
+BENCHMARK(BM_Intercontinental)->Arg(0)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure9();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Regenerates the Section 7 multi-stream TCP microbenchmark: bandwidth
+// from the on-prem RTX8000 to the EU and US data centers as the number of
+// parallel TCP streams grows. One stream is window/RTT-capped (~0.5 Gb/s
+// EU, 50-80 Mb/s US); with 80 streams the physical paths saturate at
+// ~6 Gb/s (EU) and ~4 Gb/s (US).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "common/units.h"
+#include "core/catalog.h"
+#include "core/experiment.h"
+#include "net/profiler.h"
+#include "net/profiles.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace hivesim;
+
+double IperfMbps(net::SiteId to, int streams) {
+  sim::Simulator sim;
+  net::Topology topo = net::StandardWorld();
+  net::Network network(&sim, &topo);
+  net::Profiler profiler(&network);
+  const net::NodeId src = topo.AddNode(net::kOnPremEu, net::OnPremNetConfig());
+  const net::NodeId dst = topo.AddNode(to, net::CloudVmNetConfig());
+  return BytesPerSecToMbps(profiler.Iperf(src, dst, 10.0, streams)
+                               .value_or(0));
+}
+
+void PrintMultiStream() {
+  bench::PrintHeading(
+      "Section 7: multi-stream TCP bandwidth from the on-prem host (Mb/s)");
+  TableWriter table({"Streams", "to EU (GC)", "to US (GC)"});
+  for (int streams : {1, 2, 4, 8, 16, 40, 80}) {
+    table.AddRow({StrFormat("%d", streams),
+                  StrFormat("%.0f", IperfMbps(net::kGcEu, streams)),
+                  StrFormat("%.0f", IperfMbps(net::kGcUs, streams))});
+  }
+  table.Print(std::cout);
+
+  bench::ComparisonTable anchors("Section 7 anchors");
+  anchors.Add("1 stream to EU", "Mb/s", 500, IperfMbps(net::kGcEu, 1));
+  anchors.Add("1 stream to US", "Mb/s", 65, IperfMbps(net::kGcUs, 1));
+  anchors.Add("80 streams to EU", "Mb/s", 6000, IperfMbps(net::kGcEu, 80));
+  anchors.Add("80 streams to US", "Mb/s", 4000, IperfMbps(net::kGcUs, 80));
+  anchors.Print();
+}
+
+void PrintTrainingEffect() {
+  // What the insight buys end to end: giving Hivemind multiple TCP
+  // streams per gradient transfer on the B-2 transatlantic NLP run.
+  bench::PrintHeading(
+      "Training-level effect: B-2 NLP with N streams per transfer");
+  TableWriter table({"Streams/transfer", "SPS", "Comm (s)"});
+  for (int streams : {1, 2, 4}) {
+    core::ExperimentConfig config;
+    config.model = models::ModelId::kRobertaXlm;
+    config.streams_per_transfer = streams;
+    auto result =
+        core::RunHivemindExperiment(core::BSeries()[0].cluster, config);
+    if (!result.ok()) continue;
+    table.AddRow({StrFormat("%d", streams),
+                  StrFormat("%.1f", result->train.throughput_sps),
+                  StrFormat("%.1f", result->train.avg_comm_sec)});
+  }
+  table.Print(std::cout);
+  std::cout << "Hivemind itself runs one stream per peer pair (row 1); "
+               "the paper's Section 7 points at rows 2+ as the fix.\n";
+}
+
+void BM_MultiStream(benchmark::State& state) {
+  const int streams = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.counters["mbps"] = IperfMbps(net::kGcUs, streams);
+  }
+}
+BENCHMARK(BM_MultiStream)->Arg(1)->Arg(8)->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintMultiStream();
+  PrintTrainingEffect();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

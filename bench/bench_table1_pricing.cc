@@ -1,0 +1,98 @@
+// Regenerates Table 1: average us-west cloud pricing (April '23) — T4
+// spot/on-demand instance rates and the egress price schedule per
+// provider, straight from the pricing catalog the cost engine uses.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "cloud/pricing.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+
+namespace {
+
+using namespace hivesim;
+using cloud::EgressPricePerGb;
+using net::Continent;
+using net::Provider;
+
+void PrintTable1() {
+  bench::PrintHeading("Table 1: Average us-west cloud pricing (April '23)");
+  TableWriter table({"Cloud / Type", "GC", "AWS", "Azure"});
+
+  auto price_row = [&](const char* label, auto getter) {
+    table.AddRow({label,
+                  StrFormat("%.3f $/h", getter(cloud::VmTypeId::kGcT4)),
+                  StrFormat("%.3f $/h", getter(cloud::VmTypeId::kAwsT4)),
+                  StrFormat("%.3f $/h", getter(cloud::VmTypeId::kAzureT4))});
+  };
+  price_row("T4 Spot", [](cloud::VmTypeId id) {
+    return cloud::GetVmType(id).spot_per_hour;
+  });
+  price_row("T4 On-Demand", [](cloud::VmTypeId id) {
+    return cloud::GetVmType(id).ondemand_per_hour;
+  });
+
+  auto egress_row = [&](const char* label, Provider to_provider,
+                        Continent src, Continent dst) {
+    auto rate = [&](Provider p) {
+      // Cross-provider exit unless we are quoting intra-provider rows.
+      const Provider dst_provider =
+          to_provider == Provider::kOnPremise ? p : to_provider;
+      return EgressPricePerGb(p, src, dst_provider, dst);
+    };
+    table.AddRow({label, StrFormat("%.2f $/GB", rate(Provider::kGoogleCloud)),
+                  StrFormat("%.2f $/GB", rate(Provider::kAws)),
+                  StrFormat("%.2f $/GB", rate(Provider::kAzure))});
+  };
+  // Same-provider, same-continent traffic (inter-zone).
+  egress_row("Traffic (inter-zone)", Provider::kOnPremise, Continent::kUs,
+             Continent::kUs);
+  // Cross-provider exits per continent (inter-region).
+  egress_row("Traffic (inter-region) US", Provider::kLambdaLabs,
+             Continent::kUs, Continent::kUs);
+  egress_row("Traffic (inter-region) EU", Provider::kLambdaLabs,
+             Continent::kEu, Continent::kEu);
+  egress_row("Traffic ANY-OCE", Provider::kOnPremise, Continent::kUs,
+             Continent::kAus);
+  egress_row("Traffic (between continents)", Provider::kOnPremise,
+             Continent::kUs, Continent::kEu);
+  table.Print(std::cout);
+
+  bench::ComparisonTable check("Table 1 anchor check");
+  check.Add("GC T4 spot", "$/h",
+            0.180, cloud::GetVmType(cloud::VmTypeId::kGcT4).spot_per_hour);
+  check.Add("AWS T4 spot", "$/h",
+            0.395, cloud::GetVmType(cloud::VmTypeId::kAwsT4).spot_per_hour);
+  check.Add("Azure T4 spot", "$/h",
+            0.134, cloud::GetVmType(cloud::VmTypeId::kAzureT4).spot_per_hour);
+  check.Add("GC ANY-OCE egress", "$/GB", 0.15,
+            EgressPricePerGb(Provider::kGoogleCloud, Continent::kUs,
+                             Provider::kGoogleCloud, Continent::kAus));
+  check.Add("AWS between continents", "$/GB", 0.02,
+            EgressPricePerGb(Provider::kAws, Continent::kUs, Provider::kAws,
+                             Continent::kEu));
+  check.Print();
+}
+
+void BM_PriceLookup(benchmark::State& state) {
+  double sink = 0;
+  for (auto _ : state) {
+    sink += EgressPricePerGb(Provider::kGoogleCloud, Continent::kUs,
+                             Provider::kAzure, Continent::kAus);
+    sink += cloud::GetVmType(cloud::VmTypeId::kGcT4).spot_per_hour;
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_PriceLookup);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

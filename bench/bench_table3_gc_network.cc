@@ -1,0 +1,105 @@
+// Regenerates Table 3: single-stream TCP throughput and ICMP latency
+// between the four GC zones, measured with the in-simulator iperf/ping
+// profiler exactly as the paper measured its VMs.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "common/units.h"
+#include "net/profiler.h"
+#include "net/profiles.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace hivesim;
+
+constexpr net::SiteId kZones[] = {net::kGcUs, net::kGcEu, net::kGcAsia,
+                                  net::kGcAus};
+constexpr const char* kZoneNames[] = {"US", "EU", "ASIA", "AUS"};
+
+struct Probe {
+  sim::Simulator sim;
+  net::Topology topo = net::StandardWorld();
+  net::Network network{&sim, &topo};
+  net::Profiler profiler{&network};
+  net::NodeId nodes[4];
+
+  Probe() {
+    for (int i = 0; i < 4; ++i) {
+      nodes[i] = topo.AddNode(kZones[i], net::CloudVmNetConfig());
+    }
+  }
+};
+
+void PrintTable3() {
+  Probe probe;
+  bench::PrintHeading(
+      "Table 3a: single-stream TCP throughput between GC zones (Gb/s)");
+  TableWriter bw({"From \\ To", "US", "EU", "ASIA", "AUS"});
+  for (int i = 0; i < 4; ++i) {
+    std::vector<std::string> row = {kZoneNames[i]};
+    for (int j = 0; j < 4; ++j) {
+      const double bps =
+          probe.profiler.Iperf(probe.nodes[i], probe.nodes[j], 10.0)
+              .value_or(0);
+      row.push_back(StrFormat("%.2f", BytesPerSecToGbps(bps)));
+    }
+    bw.AddRow(row);
+  }
+  bw.Print(std::cout);
+
+  bench::PrintHeading("Table 3b: ICMP latency between GC zones (ms)");
+  TableWriter lat({"From \\ To", "US", "EU", "ASIA", "AUS"});
+  for (int i = 0; i < 4; ++i) {
+    std::vector<std::string> row = {kZoneNames[i]};
+    for (int j = 0; j < 4; ++j) {
+      row.push_back(StrFormat(
+          "%.1f",
+          probe.profiler.PingMs(probe.nodes[i], probe.nodes[j]).value_or(0)));
+    }
+    lat.AddRow(row);
+  }
+  lat.Print(std::cout);
+
+  bench::ComparisonTable anchors("Table 3 anchor checks");
+  Probe p2;
+  anchors.Add("US local", "Gb/s", 6.9,
+              BytesPerSecToGbps(
+                  p2.profiler.Iperf(p2.nodes[0], p2.nodes[0], 10.0)
+                      .value_or(0)));
+  anchors.Add("US->EU", "Mb/s", 210,
+              BytesPerSecToMbps(
+                  p2.profiler.Iperf(p2.nodes[0], p2.nodes[1], 10.0)
+                      .value_or(0)));
+  anchors.Add("EU->ASIA", "Mb/s", 80,
+              BytesPerSecToMbps(
+                  p2.profiler.Iperf(p2.nodes[1], p2.nodes[2], 10.0)
+                      .value_or(0)));
+  anchors.Add("EU->ASIA", "ping ms", 270,
+              p2.profiler.PingMs(p2.nodes[1], p2.nodes[2]).value_or(0));
+  anchors.Print();
+}
+
+void BM_Iperf(benchmark::State& state) {
+  for (auto _ : state) {
+    Probe probe;
+    state.counters["mbps"] = BytesPerSecToMbps(
+        probe.profiler.Iperf(probe.nodes[0], probe.nodes[1], 10.0)
+            .value_or(0));
+  }
+}
+BENCHMARK(BM_Iperf)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

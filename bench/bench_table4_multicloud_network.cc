@@ -1,0 +1,105 @@
+// Regenerates Table 4: single-stream TCP throughput and latency between
+// GC, AWS and Azure in the US — the connectivity that makes multi-cloud
+// training feasible (GC<->AWS share an exchange point; Azure sits one
+// region over).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "common/units.h"
+#include "net/profiler.h"
+#include "net/profiles.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace hivesim;
+
+constexpr net::SiteId kClouds[] = {net::kGcUs, net::kAwsUsWest,
+                                   net::kAzureUsSouth};
+constexpr const char* kCloudNames[] = {"GC", "AWS", "Azure"};
+
+struct Probe {
+  sim::Simulator sim;
+  net::Topology topo = net::StandardWorld();
+  net::Network network{&sim, &topo};
+  net::Profiler profiler{&network};
+  net::NodeId nodes[3];
+
+  Probe() {
+    for (int i = 0; i < 3; ++i) {
+      nodes[i] = topo.AddNode(kClouds[i], net::CloudVmNetConfig());
+    }
+  }
+};
+
+void PrintTable4() {
+  Probe probe;
+  bench::PrintHeading(
+      "Table 4a: single-stream TCP throughput between clouds (Gb/s)");
+  TableWriter bw({"From \\ To", "GC", "AWS", "Azure"});
+  for (int i = 0; i < 3; ++i) {
+    std::vector<std::string> row = {kCloudNames[i]};
+    for (int j = 0; j < 3; ++j) {
+      const double bps =
+          probe.profiler.Iperf(probe.nodes[i], probe.nodes[j], 10.0)
+              .value_or(0);
+      row.push_back(StrFormat("%.2f", BytesPerSecToGbps(bps)));
+    }
+    bw.AddRow(row);
+  }
+  bw.Print(std::cout);
+
+  bench::PrintHeading("Table 4b: ICMP latency between clouds (ms)");
+  TableWriter lat({"From \\ To", "GC", "AWS", "Azure"});
+  for (int i = 0; i < 3; ++i) {
+    std::vector<std::string> row = {kCloudNames[i]};
+    for (int j = 0; j < 3; ++j) {
+      row.push_back(StrFormat(
+          "%.1f",
+          probe.profiler.PingMs(probe.nodes[i], probe.nodes[j]).value_or(0)));
+    }
+    lat.AddRow(row);
+  }
+  lat.Print(std::cout);
+
+  bench::ComparisonTable anchors("Table 4 anchor checks");
+  Probe p2;
+  anchors.Add("GC intra", "Gb/s", 6.4,
+              BytesPerSecToGbps(
+                  p2.profiler.Iperf(p2.nodes[0], p2.nodes[0], 10).value_or(0)));
+  anchors.Add("GC->AWS", "Gb/s", 1.65,
+              BytesPerSecToGbps(
+                  p2.profiler.Iperf(p2.nodes[0], p2.nodes[1], 10).value_or(0)));
+  anchors.Add("GC->AWS", "ping ms", 15.3,
+              p2.profiler.PingMs(p2.nodes[0], p2.nodes[1]).value_or(0));
+  anchors.Add("GC->Azure", "Gb/s", 0.5,
+              BytesPerSecToGbps(
+                  p2.profiler.Iperf(p2.nodes[0], p2.nodes[2], 10).value_or(0)));
+  anchors.Add("GC->Azure", "ping ms", 51,
+              p2.profiler.PingMs(p2.nodes[0], p2.nodes[2]).value_or(0));
+  anchors.Print();
+}
+
+void BM_InterCloudIperf(benchmark::State& state) {
+  for (auto _ : state) {
+    Probe probe;
+    state.counters["gbps"] = BytesPerSecToGbps(
+        probe.profiler.Iperf(probe.nodes[0], probe.nodes[1], 10.0)
+            .value_or(0));
+  }
+}
+BENCHMARK(BM_InterCloudIperf)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Regenerates Table 5: connectivity from the on-premise building (the
+// RTX8000 / DGX-2 machines) to the EU and US cloud resources. The
+// single-stream rates (0.45-0.55 Gb/s to the EU, 50-80 Mb/s to the US)
+// emerge from the on-prem hosts' TCP window over the measured RTTs, not
+// from path capacity — the crux of the Section 7 multi-stream insight.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "common/units.h"
+#include "net/profiler.h"
+#include "net/profiles.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace hivesim;
+
+struct Probe {
+  sim::Simulator sim;
+  net::Topology topo = net::StandardWorld();
+  net::Network network{&sim, &topo};
+  net::Profiler profiler{&network};
+  net::NodeId onprem, eu_t4, us_t4, us_a10;
+
+  Probe() {
+    onprem = topo.AddNode(net::kOnPremEu, net::OnPremNetConfig());
+    eu_t4 = topo.AddNode(net::kGcEu, net::CloudVmNetConfig());
+    us_t4 = topo.AddNode(net::kGcUs, net::CloudVmNetConfig());
+    us_a10 = topo.AddNode(net::kLambdaUsWest, net::CloudVmNetConfig());
+  }
+};
+
+void PrintTable5() {
+  Probe probe;
+  const net::NodeId targets[] = {probe.eu_t4, probe.us_t4, probe.us_a10};
+  const char* target_names[] = {"EU T4", "US T4", "US A10"};
+
+  bench::PrintHeading(
+      "Table 5a: on-prem single-stream TCP throughput (Gb/s)");
+  TableWriter bw({"From \\ To", "EU T4", "US T4", "US A10"});
+  std::vector<std::string> row = {"on-prem (RTX8000 / DGX-2)"};
+  for (net::NodeId target : targets) {
+    row.push_back(StrFormat(
+        "%.2f", BytesPerSecToGbps(
+                    probe.profiler.Iperf(probe.onprem, target, 10.0)
+                        .value_or(0))));
+  }
+  bw.AddRow(row);
+  bw.Print(std::cout);
+
+  bench::PrintHeading("Table 5b: on-prem ICMP latency (ms)");
+  TableWriter lat({"From \\ To", "EU T4", "US T4", "US A10"});
+  row = {"on-prem (RTX8000 / DGX-2)"};
+  for (net::NodeId target : targets) {
+    row.push_back(StrFormat(
+        "%.1f", probe.profiler.PingMs(probe.onprem, target).value_or(0)));
+  }
+  lat.AddRow(row);
+  lat.Print(std::cout);
+
+  bench::ComparisonTable anchors("Table 5 anchor checks");
+  Probe p2;
+  anchors.Add("on-prem -> EU T4", "Gb/s", 0.50,
+              BytesPerSecToGbps(
+                  p2.profiler.Iperf(p2.onprem, p2.eu_t4, 10).value_or(0)));
+  anchors.Add("on-prem -> US T4", "Mb/s", 70,
+              BytesPerSecToMbps(
+                  p2.profiler.Iperf(p2.onprem, p2.us_t4, 10).value_or(0)));
+  anchors.Add("on-prem -> US T4", "ping ms", 150.5,
+              p2.profiler.PingMs(p2.onprem, p2.us_t4).value_or(0));
+  anchors.Add("on-prem -> US A10", "ping ms", 158.8,
+              p2.profiler.PingMs(p2.onprem, p2.us_a10).value_or(0));
+  (void)target_names;
+  anchors.Print();
+}
+
+void BM_OnPremIperf(benchmark::State& state) {
+  for (auto _ : state) {
+    Probe probe;
+    state.counters["mbps"] = BytesPerSecToMbps(
+        probe.profiler.Iperf(probe.onprem, probe.us_t4, 10.0).value_or(0));
+  }
+}
+BENCHMARK(BM_OnPremIperf)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable5();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

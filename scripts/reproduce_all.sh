@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds the project, runs the full test suite, and regenerates every
+# table and figure of the paper (outputs land next to this script's repo
+# root as test_output.txt and bench_output.txt).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "### $(basename "$b")"
+    "$b" --benchmark_min_time=1x
+  fi
+done 2>&1 | tee bench_output.txt

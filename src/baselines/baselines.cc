@@ -1,0 +1,100 @@
+#include "baselines/baselines.h"
+
+#include "models/calibration.h"
+#include "models/memory.h"
+
+namespace hivesim::baselines {
+
+namespace {
+
+using compute::GpuModel;
+using compute::HostClass;
+using models::ModelId;
+
+/// Paper-measured DDP anchors; checked before the ring model.
+struct DdpAnchor {
+  ModelId model;
+  GpuModel gpu;
+  int gpu_count;
+  double sps;
+};
+constexpr DdpAnchor kDdpAnchors[] = {
+    {ModelId::kConvNextLarge, GpuModel::kV100, 8, 413.0},
+    {ModelId::kRobertaXlm, GpuModel::kV100, 8, 1811.0},
+    {ModelId::kConvNextLarge, GpuModel::kT4, 4, 207.0},
+    {ModelId::kWhisperSmall, GpuModel::kT4, 4, 24.0},
+    {ModelId::kWhisperSmall, GpuModel::kA100_80GB, 1, 46.0},
+};
+
+}  // namespace
+
+Result<double> SingleGpuThroughput(models::ModelId model,
+                                   compute::GpuModel gpu,
+                                   compute::HostClass host) {
+  HIVESIM_RETURN_IF_ERROR(models::CheckFits(
+      model, models::TrainerKind::kLocalBaseline, gpu, host));
+  return models::BaselineSps(model, gpu);
+}
+
+DdpNodeConfig Dgx2Node(models::ModelId model) {
+  DdpNodeConfig config;
+  config.model = model;
+  config.gpu = GpuModel::kV100;
+  config.gpu_count = 8;
+  config.host = HostClass::kDgx2Host;
+  config.interconnect_bytes_per_sec = 120e9;
+  return config;
+}
+
+DdpNodeConfig Gc4xT4Node(models::ModelId model) {
+  DdpNodeConfig config;
+  config.model = model;
+  config.gpu = GpuModel::kT4;
+  config.gpu_count = 4;
+  config.host = HostClass::kGcN1Standard8;
+  config.interconnect_bytes_per_sec = 5.4e9;
+  return config;
+}
+
+DdpNodeConfig A100Node(models::ModelId model) {
+  DdpNodeConfig config;
+  config.model = model;
+  config.gpu = GpuModel::kA100_80GB;
+  config.gpu_count = 1;
+  config.host = HostClass::kDgx2Host;
+  return config;
+}
+
+Result<double> DdpThroughput(const DdpNodeConfig& config) {
+  if (config.gpu_count < 1) {
+    return Status::InvalidArgument("DDP node needs at least one GPU");
+  }
+  HIVESIM_RETURN_IF_ERROR(models::CheckFits(
+      config.model, models::TrainerKind::kDdp, config.gpu, config.host));
+
+  for (const DdpAnchor& anchor : kDdpAnchors) {
+    if (anchor.model == config.model && anchor.gpu == config.gpu &&
+        anchor.gpu_count == config.gpu_count) {
+      return anchor.sps;
+    }
+  }
+
+  double per_gpu_sps = 0;
+  HIVESIM_ASSIGN_OR_RETURN(per_gpu_sps,
+                           models::BaselineSps(config.model, config.gpu));
+  if (config.gpu_count == 1) return per_gpu_sps;
+
+  // Ring all-reduce per microbatch step: each GPU moves
+  // 2*(G-1)/G * fp32-gradient bytes across the interconnect, overlapping
+  // nothing (synchronous DDP without no_sync).
+  const models::ModelSpec& spec = models::GetModelSpec(config.model);
+  const int microbatch = models::DefaultMicrobatch(config.model);
+  const double calc_sec = microbatch / per_gpu_sps;
+  const double ring_bytes = 2.0 * (config.gpu_count - 1) / config.gpu_count *
+                            spec.GradientBytesFp32();
+  const double comm_sec = ring_bytes / config.interconnect_bytes_per_sec;
+  const double efficiency = calc_sec / (calc_sec + comm_sec);
+  return config.gpu_count * per_gpu_sps * efficiency;
+}
+
+}  // namespace hivesim::baselines

@@ -1,0 +1,85 @@
+#include "baselines/ddp_sim.h"
+
+#include <algorithm>
+
+#include "models/calibration.h"
+#include "models/memory.h"
+
+namespace hivesim::baselines {
+
+DdpNodeSim::DdpNodeSim(sim::Simulator* sim, DdpSimConfig config)
+    : sim_(sim), config_(config) {}
+
+Result<double> DdpNodeSim::StepSeconds() const {
+  const DdpNodeConfig& node = config_.node;
+  if (node.gpu_count < 1 || config_.buckets < 1 ||
+      config_.overlap_frac < 0 || config_.overlap_frac > 1) {
+    return Status::InvalidArgument("bad DDP sim configuration");
+  }
+  double per_gpu_sps = 0;
+  HIVESIM_ASSIGN_OR_RETURN(per_gpu_sps,
+                           models::BaselineSps(node.model, node.gpu));
+  const int microbatch = models::DefaultMicrobatch(node.model);
+  const double calc = microbatch / per_gpu_sps;
+  if (node.gpu_count == 1) return calc;
+  const models::ModelSpec& spec = models::GetModelSpec(node.model);
+  const double comm = 2.0 * (node.gpu_count - 1) / node.gpu_count *
+                      spec.GradientBytesFp32() /
+                      node.interconnect_bytes_per_sec;
+  const double exposed = std::max(comm / config_.buckets,
+                                  comm - config_.overlap_frac * calc);
+  return calc + exposed;
+}
+
+Status DdpNodeSim::Start() {
+  if (running_) return Status::FailedPrecondition("already running");
+  HIVESIM_RETURN_IF_ERROR(models::CheckFits(
+      config_.node.model, models::TrainerKind::kDdp, config_.node.gpu,
+      config_.node.host));
+  HIVESIM_RETURN_IF_ERROR(StepSeconds().status());
+  running_ = true;
+  ++generation_;
+  started_at_ = sim_->Now();
+  ScheduleStep();
+  return Status::OK();
+}
+
+void DdpNodeSim::ScheduleStep() {
+  const double step = StepSeconds().value_or(0);
+  const uint64_t gen = generation_;
+  sim_->Schedule(step, [this, gen] {
+    if (gen != generation_ || !running_) return;
+    ++steps_;
+    ScheduleStep();
+  });
+}
+
+void DdpNodeSim::Stop() {
+  if (!running_) return;
+  accumulated_runtime_ += sim_->Now() - started_at_;
+  running_ = false;
+  ++generation_;
+}
+
+DdpNodeSim::Stats DdpNodeSim::GetStats() const {
+  Stats stats;
+  stats.steps = steps_;
+  stats.samples = static_cast<double>(steps_) *
+                  models::DefaultMicrobatch(config_.node.model) *
+                  config_.node.gpu_count;
+  stats.duration_sec = accumulated_runtime_;
+  if (running_) stats.duration_sec += sim_->Now() - started_at_;
+  if (stats.duration_sec > 0) {
+    stats.throughput_sps = stats.samples / stats.duration_sec;
+  }
+  return stats;
+}
+
+Result<DdpNodeSim::Stats> DdpNodeSim::RunFor(double seconds) {
+  HIVESIM_RETURN_IF_ERROR(Start());
+  sim_->RunUntil(sim_->Now() + seconds);
+  Stop();
+  return GetStats();
+}
+
+}  // namespace hivesim::baselines

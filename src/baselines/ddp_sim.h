@@ -1,0 +1,72 @@
+#ifndef HIVESIM_BASELINES_DDP_SIM_H_
+#define HIVESIM_BASELINES_DDP_SIM_H_
+
+#include "baselines/baselines.h"
+#include "common/result.h"
+#include "sim/simulator.h"
+
+namespace hivesim::baselines {
+
+/// Parameters of the event-driven DDP node simulation.
+struct DdpSimConfig {
+  DdpNodeConfig node;
+  /// PyTorch DDP gradient buckets: all-reduce of earlier buckets
+  /// overlaps the rest of the backward pass; only the final bucket's
+  /// reduction is fully exposed.
+  int buckets = 4;
+  /// Fraction of the ring all-reduce hideable under the backward pass
+  /// (0 = fully synchronous, the closed-form `DdpThroughput` model).
+  double overlap_frac = 0.75;
+};
+
+/// Event-driven simulation of one synchronous-DDP node: the G workers
+/// step through microbatches in lockstep, each step paying
+///   step = calc + exposed_comm,
+///   exposed_comm = max(comm / buckets, comm - overlap_frac * calc),
+/// with `comm` the bucketed ring all-reduce of the FP32 gradients over
+/// the node interconnect. Complements the closed-form `DdpThroughput`:
+/// use this to *run* a node inside a simulation (duration-based sample
+/// counts, live queries) rather than just to price one.
+class DdpNodeSim {
+ public:
+  struct Stats {
+    int64_t steps = 0;
+    double samples = 0;
+    double duration_sec = 0;
+    double throughput_sps = 0;
+  };
+
+  DdpNodeSim(sim::Simulator* sim, DdpSimConfig config);
+
+  DdpNodeSim(const DdpNodeSim&) = delete;
+  DdpNodeSim& operator=(const DdpNodeSim&) = delete;
+
+  /// Validates the configuration (including the OOM feasibility check)
+  /// and begins stepping. FailedPrecondition if already running.
+  Status Start();
+  void Stop();
+
+  /// Convenience: Start, advance the simulator, Stop, report.
+  Result<Stats> RunFor(double seconds);
+
+  Stats GetStats() const;
+  bool running() const { return running_; }
+
+  /// The per-step wall-clock this configuration pays (for tests).
+  Result<double> StepSeconds() const;
+
+ private:
+  void ScheduleStep();
+
+  sim::Simulator* sim_;
+  DdpSimConfig config_;
+  bool running_ = false;
+  uint64_t generation_ = 0;
+  double started_at_ = 0;
+  double accumulated_runtime_ = 0;
+  int64_t steps_ = 0;
+};
+
+}  // namespace hivesim::baselines
+
+#endif  // HIVESIM_BASELINES_DDP_SIM_H_

@@ -1,0 +1,51 @@
+#include "cloud/cost.h"
+
+#include "common/units.h"
+
+namespace hivesim::cloud {
+
+CostBreakdown& CostBreakdown::operator+=(const CostBreakdown& o) {
+  instance += o.instance;
+  internal_egress += o.internal_egress;
+  external_egress += o.external_egress;
+  data_loading += o.data_loading;
+  return *this;
+}
+
+CostBreakdown PriceVm(const VmUsage& usage) {
+  CostBreakdown cost;
+  const VmType& vm = GetVmType(usage.type);
+  const double rate = usage.spot ? vm.spot_per_hour : vm.ondemand_per_hour;
+  cost.instance = rate * usage.hours;
+
+  for (const auto& [dst, bytes] : usage.egress_bytes_by_dst) {
+    const double price = EgressPricePerGb(usage.site, dst);
+    const double dollars = TrafficCost(bytes, price);
+    const bool internal = dst.provider == usage.site.provider &&
+                          dst.continent == usage.site.continent;
+    if (internal) {
+      cost.internal_egress += dollars;
+    } else {
+      cost.external_egress += dollars;
+    }
+  }
+
+  cost.data_loading =
+      TrafficCost(usage.data_ingress_bytes, DataIngressPricePerGb());
+  return cost;
+}
+
+CostBreakdown PriceFleet(const std::vector<VmUsage>& fleet) {
+  CostBreakdown total;
+  for (const VmUsage& usage : fleet) total += PriceVm(usage);
+  return total;
+}
+
+double CostPerMillionSamples(double dollars_per_hour,
+                             double samples_per_sec) {
+  if (samples_per_sec <= 0) return 0;
+  const double samples_per_hour = samples_per_sec * kHour;
+  return dollars_per_hour / samples_per_hour * 1e6;
+}
+
+}  // namespace hivesim::cloud

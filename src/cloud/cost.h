@@ -1,0 +1,49 @@
+#ifndef HIVESIM_CLOUD_COST_H_
+#define HIVESIM_CLOUD_COST_H_
+
+#include <vector>
+
+#include "cloud/pricing.h"
+#include "net/location.h"
+
+namespace hivesim::cloud {
+
+/// Dollar cost of one VM's participation in a run, split the way Fig. 11
+/// presents it.
+struct CostBreakdown {
+  double instance = 0;         ///< VM rental (spot or on-demand).
+  double internal_egress = 0;  ///< Same-provider, same-continent traffic.
+  double external_egress = 0;  ///< Cross-provider or cross-continent.
+  double data_loading = 0;     ///< Backblaze B2 dataset streaming.
+
+  double Total() const {
+    return instance + internal_egress + external_egress + data_loading;
+  }
+  CostBreakdown& operator+=(const CostBreakdown& o);
+};
+
+/// Everything the cost engine needs to price one VM after a run.
+struct VmUsage {
+  VmTypeId type = VmTypeId::kGcT4;
+  net::Site site;                ///< Where the VM ran.
+  bool spot = true;              ///< Spot vs. on-demand pricing.
+  double hours = 0;              ///< Billed runtime.
+  /// Gradient traffic this VM sent, bucketed by destination site.
+  std::vector<std::pair<net::Site, double>> egress_bytes_by_dst;
+  /// Dataset bytes streamed from B2 by this VM.
+  double data_ingress_bytes = 0;
+};
+
+/// Prices one VM's run: rental + egress per Table 1 + B2 streaming.
+CostBreakdown PriceVm(const VmUsage& usage);
+
+/// Prices a whole fleet (sum of PriceVm over all).
+CostBreakdown PriceFleet(const std::vector<VmUsage>& fleet);
+
+/// The paper's headline unit: dollars per one million processed samples
+/// given an hourly cost and a sustained throughput.
+double CostPerMillionSamples(double dollars_per_hour, double samples_per_sec);
+
+}  // namespace hivesim::cloud
+
+#endif  // HIVESIM_CLOUD_COST_H_

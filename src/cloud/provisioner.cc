@@ -1,0 +1,70 @@
+#include "cloud/provisioner.h"
+
+#include <memory>
+
+namespace hivesim::cloud {
+
+struct AcquireState {
+  std::vector<net::SiteId> zones;
+  ZoneAwareProvisioner::DoneCallback done;
+  double requested_at = 0;
+  int attempts = 0;
+  int sweeps = 0;
+};
+
+ZoneAwareProvisioner::ZoneAwareProvisioner(sim::Simulator* sim,
+                                           const net::Topology* topology,
+                                           SpotMarket* market, Rng rng,
+                                           ProvisionerConfig config)
+    : sim_(sim),
+      topology_(topology),
+      market_(market),
+      rng_(std::move(rng)),
+      config_(config) {}
+
+double ZoneAwareProvisioner::AvailabilityNow(net::SiteId site) const {
+  const net::Continent continent = topology_->site(site).continent;
+  const double hour = SpotMarket::LocalHour(continent, sim_->Now());
+  const bool daytime = hour >= 8.0 && hour < 20.0;
+  return daytime ? config_.day_availability : config_.night_availability;
+}
+
+void ZoneAwareProvisioner::Acquire(std::vector<net::SiteId> preferred_zones,
+                                   DoneCallback done) {
+  auto state = std::make_shared<AcquireState>();
+  state->zones = std::move(preferred_zones);
+  state->done = std::move(done);
+  state->requested_at = sim_->Now();
+  if (state->zones.empty()) {
+    state->done(Status::InvalidArgument("no candidate zones"));
+    return;
+  }
+  Sweep(state);
+}
+
+void ZoneAwareProvisioner::Sweep(std::shared_ptr<AcquireState> state) {
+  for (net::SiteId site : state->zones) {
+    ++state->attempts;
+    if (rng_.Bernoulli(AvailabilityNow(site))) {
+      // Got capacity: the VM still needs its startup delay.
+      const double startup = market_->SampleStartupDelay();
+      sim_->Schedule(startup, [this, state, site] {
+        Acquisition acquisition;
+        acquisition.site = site;
+        acquisition.wait_sec = sim_->Now() - state->requested_at;
+        acquisition.attempts = state->attempts;
+        state->done(acquisition);
+      });
+      return;
+    }
+  }
+  if (++state->sweeps >= config_.max_sweeps) {
+    state->done(Status::ResourceExhausted(
+        "no spot capacity in any candidate zone"));
+    return;
+  }
+  sim_->Schedule(config_.retry_interval_sec,
+                 [this, state] { Sweep(state); });
+}
+
+}  // namespace hivesim::cloud

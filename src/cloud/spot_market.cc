@@ -1,0 +1,84 @@
+#include "cloud/spot_market.h"
+
+#include <cmath>
+
+#include "common/units.h"
+
+namespace hivesim::cloud {
+
+namespace {
+// UTC offsets of the experiment zones: Iowa (-6), Belgium (+1),
+// Taiwan (+8), Sydney (+10).
+double UtcOffsetHours(net::Continent c) {
+  switch (c) {
+    case net::Continent::kUs:
+      return -6;
+    case net::Continent::kEu:
+      return +1;
+    case net::Continent::kAsia:
+      return +8;
+    case net::Continent::kAus:
+      return +10;
+  }
+  return 0;
+}
+
+constexpr double kDayStartHour = 8.0;
+constexpr double kDayEndHour = 20.0;
+constexpr double kSecondsPerMonth = 30.0 * 24.0 * kHour;
+}  // namespace
+
+double SpotMarket::LocalHour(net::Continent continent, double now) {
+  const double hours = now / kHour + UtcOffsetHours(continent);
+  double h = std::fmod(hours, 24.0);
+  if (h < 0) h += 24.0;
+  return h;
+}
+
+double SpotMarket::HazardAt(net::Continent continent, double now) const {
+  // Baseline hazard so that P(interrupted in 30 days) at the night rate
+  // equals base_monthly_interruption_rate.
+  const double base =
+      -std::log(1.0 - config_.base_monthly_interruption_rate) /
+      kSecondsPerMonth;
+  const double h = LocalHour(continent, now);
+  const bool daytime = h >= kDayStartHour && h < kDayEndHour;
+  return daytime ? base * config_.daylight_multiplier : base;
+}
+
+double SpotMarket::SampleInterruptionDelay(net::Continent continent,
+                                           double now) {
+  // Piecewise-constant hazard: advance hour by hour, drawing an
+  // exponential within each segment.
+  double t = now;
+  for (int guard = 0; guard < 24 * 365 * 10; ++guard) {
+    const double rate = HazardAt(continent, t);
+    const double draw = rng_.Exponential(rate);
+    if (draw <= kHour) return (t + draw) - now;
+    t += kHour;
+  }
+  return t - now;  // Effectively never (10 simulated years).
+}
+
+double SpotMarket::SampleStartupDelay() {
+  return rng_.Uniform(config_.vm_startup_min_sec, config_.vm_startup_max_sec);
+}
+
+double SpotMarket::SpotPriceMultiplier(net::Continent continent,
+                                       double now) const {
+  const uint64_t hour_index = static_cast<uint64_t>(now / kHour);
+  uint64_t h = hour_index * 0x9e3779b97f4a7c15ULL +
+               (static_cast<uint64_t>(continent) + 1) * 0xc2b2ae3d27d4eb4fULL;
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 32;
+  const double unit = static_cast<double>(h % 10000) / 10000.0;  // [0,1)
+  const double jitter = config_.price_jitter * (2.0 * unit - 1.0);
+  const double local = LocalHour(continent, now);
+  const bool daytime = local >= kDayStartHour && local < kDayEndHour;
+  const double diurnal =
+      daytime ? config_.diurnal_swing : -config_.diurnal_swing;
+  return 1.0 + diurnal + jitter;
+}
+
+}  // namespace hivesim::cloud

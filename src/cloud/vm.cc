@@ -1,0 +1,77 @@
+#include "cloud/vm.h"
+
+#include "common/units.h"
+
+namespace hivesim::cloud {
+
+std::string_view VmStateName(VmState s) {
+  switch (s) {
+    case VmState::kPending:
+      return "pending";
+    case VmState::kProvisioning:
+      return "provisioning";
+    case VmState::kRunning:
+      return "running";
+    case VmState::kInterrupted:
+      return "interrupted";
+    case VmState::kStopped:
+      return "stopped";
+  }
+  return "?";
+}
+
+VmInstance::VmInstance(sim::Simulator* sim, SpotMarket* market,
+                       net::Continent continent, Config config)
+    : sim_(sim), market_(market), continent_(continent), config_(config) {}
+
+void VmInstance::Start() {
+  if (state_ != VmState::kPending && state_ != VmState::kInterrupted) return;
+  state_ = VmState::kProvisioning;
+  const double delay = market_->SampleStartupDelay();
+  sim_->Schedule(delay, [this] {
+    if (state_ == VmState::kProvisioning) EnterRunning();
+  });
+}
+
+void VmInstance::EnterRunning() {
+  state_ = VmState::kRunning;
+  running_since_ = sim_->Now();
+  if (config_.spot && config_.interruptible) {
+    const double delay =
+        market_->SampleInterruptionDelay(continent_, sim_->Now());
+    interruption_event_ = sim_->Schedule(delay, [this] {
+      has_interruption_event_ = false;
+      if (state_ == VmState::kRunning) EnterInterrupted();
+    });
+    has_interruption_event_ = true;
+  }
+  if (on_running) on_running();
+}
+
+void VmInstance::EnterInterrupted() {
+  billed_seconds_ += sim_->Now() - running_since_;
+  state_ = VmState::kInterrupted;
+  ++interruptions_;
+  if (on_interrupted) on_interrupted();
+  if (config_.auto_restart) Start();
+}
+
+void VmInstance::Stop() {
+  if (state_ == VmState::kStopped) return;
+  if (state_ == VmState::kRunning) {
+    billed_seconds_ += sim_->Now() - running_since_;
+  }
+  if (has_interruption_event_) {
+    sim_->Cancel(interruption_event_);
+    has_interruption_event_ = false;
+  }
+  state_ = VmState::kStopped;
+}
+
+double VmInstance::BilledHours() const {
+  double secs = billed_seconds_;
+  if (state_ == VmState::kRunning) secs += sim_->Now() - running_since_;
+  return secs / kHour;
+}
+
+}  // namespace hivesim::cloud

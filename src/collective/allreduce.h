@@ -1,0 +1,132 @@
+#ifndef HIVESIM_COLLECTIVE_ALLREDUCE_H_
+#define HIVESIM_COLLECTIVE_ALLREDUCE_H_
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "compute/host.h"
+#include "net/network.h"
+
+namespace hivesim::collective {
+
+/// One participant in a gradient-averaging round.
+struct Peer {
+  net::NodeId node = 0;            ///< Network endpoint.
+  compute::HostClass host = compute::HostClass::kGcN1Standard8;
+};
+
+/// Topology-level averaging strategies. `kAuto` picks per the behaviour
+/// the paper observed from Hivemind/MoshpitSGD:
+///   - up to 4 peers in one site (or several sites within one continent)
+///     -> flat N-to-N ("each peer sends its gradients to every other
+///     peer", Section 5),
+///   - larger single-site fleets -> ring-chunked averaging (MoshpitSGD's
+///     grouped all-reduce; per-peer traffic 2(m-1)/m payloads instead of
+///     m-1, consistent with the observed ~1.1 Gb/s single-stream peak
+///     while averaging on A-8, Section 4(A)),
+///   - one peer per site across >= 3 sites -> star via the best-connected
+///     hub ("the averaging was done over the US node", Section 4(C)),
+///   - site groups across continents -> hierarchical: gather to a site
+///     leader, leaders exchange, scatter (the C-8 traffic split of
+///     8/20 internal + 12/20 cross-region calls, Section 5(3)).
+enum class Strategy : uint8_t {
+  kAuto,
+  kFlatAllToAll,
+  kRing,
+  kStarViaHub,
+  kHierarchical,
+};
+
+std::string_view StrategyName(Strategy s);
+
+/// One gradient transfer between peers (indices into the peer vector).
+struct Transfer {
+  int src = 0;
+  int dst = 0;
+  /// Bytes moved as a multiple of the gradient payload (ring transfers
+  /// move 2(m-1)/m of a payload; everything else moves exactly one).
+  double bytes_factor = 1.0;
+};
+
+/// Staged transfer schedule; stage n+1 starts when stage n has fully
+/// completed (Hivemind's averaging is synchronous within a round).
+struct Plan {
+  Strategy strategy = Strategy::kFlatAllToAll;
+  std::vector<std::vector<Transfer>> stages;
+  int hub = -1;  ///< Peer index of the star hub / informative only.
+
+  /// Total number of transfers across stages.
+  int TotalTransfers() const;
+};
+
+/// Chooses the effective strategy for a peer set (resolves kAuto).
+Strategy ChooseStrategy(const std::vector<Peer>& peers,
+                        const net::Topology& topology, Strategy requested);
+
+/// Builds the transfer schedule. Requires >= 2 peers.
+Result<Plan> BuildPlan(const std::vector<Peer>& peers,
+                       const net::Topology& topology, Strategy requested);
+
+/// Knobs of one averaging round.
+struct AllReduceOptions {
+  double payload_bytes = 0;  ///< Gradient size per peer (FP16-compressed).
+  Strategy strategy = Strategy::kAuto;
+  /// TCP streams per gradient transfer; Hivemind uses one (the Section 7
+  /// bottleneck), >1 models the multi-stream improvement.
+  int streams_per_transfer = 1;
+  /// Model CPU (de)serialization/aggregation costs around the transfers.
+  bool model_cpu_costs = true;
+};
+
+/// Outcome of a completed round.
+struct AllReduceResult {
+  double wall_sec = 0;       ///< Start to every peer holding the average.
+  int transfers = 0;
+  Strategy strategy = Strategy::kFlatAllToAll;
+};
+
+/// Executes averaging rounds over the flow-level network. Gradient bytes
+/// are pushed through `net::Network` flows (so egress meters, fair
+/// sharing, and TCP caps all apply) with calibrated CPU costs for
+/// serialize/accumulate around them.
+class AllReduce {
+ public:
+  using DoneCallback = std::function<void(Result<AllReduceResult>)>;
+
+  AllReduce(net::Network* network) : network_(network) {}
+
+  /// Starts one round; `done` fires when the slowest peer finishes.
+  /// Only one round may be in flight per AllReduce instance.
+  Status Start(const std::vector<Peer>& peers, const AllReduceOptions& opts,
+               DoneCallback done);
+
+  /// Aborts the round in flight (peer failure); pending flows are
+  /// cancelled and `done` receives Unavailable.
+  void Abort();
+
+  bool running() const { return running_; }
+
+ private:
+  void RunStage(size_t stage_index);
+  void FinishStage(size_t stage_index);
+
+  net::Network* network_;
+  bool running_ = false;
+  uint64_t generation_ = 0;  // Invalidates callbacks after Abort().
+  std::vector<Peer> peers_;
+  AllReduceOptions opts_;
+  Plan plan_;
+  DoneCallback done_;
+  double start_time_ = 0;
+  double stage_start_ = 0;
+  int outstanding_flows_ = 0;
+  std::vector<net::FlowId> stage_flows_;
+  // Per-peer CPU aggregation debt for the current stage.
+  std::vector<double> aggregate_cpu_;
+};
+
+}  // namespace hivesim::collective
+
+#endif  // HIVESIM_COLLECTIVE_ALLREDUCE_H_

@@ -1,0 +1,87 @@
+#include "common/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace hivesim {
+
+Status FlagSet::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    if (arg.empty()) {
+      return Status::InvalidArgument("empty flag name ('--')");
+    }
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      const std::string name = arg.substr(0, eq);
+      if (name.empty()) return Status::InvalidArgument("empty flag name");
+      values_[name] = arg.substr(eq + 1);
+      continue;
+    }
+    // "--flag value" when the next token is not a flag; bare "--flag"
+    // otherwise (boolean).
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+  return Status::OK();
+}
+
+std::string FlagSet::GetString(const std::string& name,
+                               const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+Result<int> FlagSet::GetInt(const std::string& name, int fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        StrCat("flag --", name, " expects an integer, got '", it->second,
+               "'"));
+  }
+  return static_cast<int>(v);
+}
+
+Result<double> FlagSet::GetDouble(const std::string& name,
+                                  double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        StrCat("flag --", name, " expects a number, got '", it->second,
+               "'"));
+  }
+  return v;
+}
+
+bool FlagSet::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+Status FlagSet::CheckKnown(const std::vector<std::string>& known) const {
+  for (const auto& [name, value] : values_) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      return Status::InvalidArgument(StrCat("unknown flag --", name));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hivesim

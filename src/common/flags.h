@@ -1,0 +1,51 @@
+#ifndef HIVESIM_COMMON_FLAGS_H_
+#define HIVESIM_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hivesim {
+
+/// Minimal command-line parser for the CLI tool and examples. Accepts
+/// `--flag=value`, `--flag value`, and bare `--flag` (boolean true);
+/// everything else is a positional argument.
+///
+///   FlagSet flags;
+///   auto status = flags.Parse(argc, argv);
+///   flags.GetString("model", "CONV");
+///   flags.GetInt("tbs", 32768);
+///   flags.positional();  // e.g. the subcommand
+class FlagSet {
+ public:
+  /// Parses argv[1..). Returns InvalidArgument on a malformed flag
+  /// (empty name). Unknown flags are fine — callers validate with
+  /// `CheckKnown`.
+  Status Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  /// Typed getters with defaults; numeric getters return InvalidArgument
+  /// if the value does not parse.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  Result<int> GetInt(const std::string& name, int fallback) const;
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  /// Positional arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// InvalidArgument naming the first flag not in `known`.
+  Status CheckKnown(const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hivesim
+
+#endif  // HIVESIM_COMMON_FLAGS_H_

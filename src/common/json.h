@@ -1,0 +1,50 @@
+#ifndef HIVESIM_COMMON_JSON_H_
+#define HIVESIM_COMMON_JSON_H_
+
+#include <string>
+#include <vector>
+
+namespace hivesim {
+
+/// Minimal streaming JSON document builder (write-only) for exporting
+/// experiment results to tooling. Produces compact, correctly escaped
+/// JSON; no parsing (the library never consumes JSON).
+///
+///   JsonWriter json;
+///   json.BeginObject();
+///   json.Key("sps").Number(261.9);
+///   json.Key("fleet").BeginArray().String("gc-t4").EndArray();
+///   json.EndObject();
+///   json.ToString();  // {"sps":261.9,"fleet":["gc-t4"]}
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Emits an object key; must be followed by exactly one value.
+  JsonWriter& Key(const std::string& name);
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The document so far.
+  const std::string& ToString() const { return out_; }
+
+  /// Escapes a string per RFC 8259 (quotes not included).
+  static std::string Escape(const std::string& raw);
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  // Stack of "needs a comma before the next element" per open container.
+  std::vector<bool> pending_comma_;
+  bool after_key_ = false;
+};
+
+}  // namespace hivesim
+
+#endif  // HIVESIM_COMMON_JSON_H_

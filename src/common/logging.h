@@ -1,0 +1,49 @@
+#ifndef HIVESIM_COMMON_LOGGING_H_
+#define HIVESIM_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hivesim {
+
+/// Log severities, ascending.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+/// Sets the process-wide minimum level (default: kWarning, so library code
+/// stays quiet in tests and benches unless asked).
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style log sink; flushes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define HIVESIM_LOG(level)                                     \
+  ::hivesim::internal_logging::LogMessage(                     \
+      ::hivesim::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace hivesim
+
+#endif  // HIVESIM_COMMON_LOGGING_H_

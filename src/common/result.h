@@ -1,0 +1,81 @@
+#ifndef HIVESIM_COMMON_RESULT_H_
+#define HIVESIM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace hivesim {
+
+/// A value-or-error holder in the style of `absl::StatusOr<T>` /
+/// `arrow::Result<T>`. Either holds a `T` (and `ok()` is true) or a
+/// non-OK `Status`.
+///
+///   Result<Shard> r = ReadShard(path);
+///   if (!r.ok()) return r.status();
+///   UseShard(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit by design, mirroring StatusOr).
+  Result(T value) : value_(std::move(value)) {}
+
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error and degrades to an Internal error.
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates the error from a `Result<T>` expression, otherwise assigns the
+/// unwrapped value to `lhs` (which must already be declared).
+#define HIVESIM_ASSIGN_OR_RETURN(lhs, expr)     \
+  do {                                          \
+    auto _res = (expr);                         \
+    if (!_res.ok()) return _res.status();       \
+    lhs = std::move(_res).value();              \
+  } while (0)
+
+}  // namespace hivesim
+
+#endif  // HIVESIM_COMMON_RESULT_H_

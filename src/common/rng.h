@@ -1,0 +1,67 @@
+#ifndef HIVESIM_COMMON_RNG_H_
+#define HIVESIM_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace hivesim {
+
+/// Deterministic, seedable random source used everywhere randomness is
+/// needed (spot interruptions, price jitter, network jitter, synthetic
+/// data). A single `Rng` per simulation keeps runs reproducible; forked
+/// child streams (`Fork`) keep subsystems decorrelated without sharing
+/// state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) noexcept = default;
+  Rng& operator=(Rng&&) noexcept = default;
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Exponential inter-arrival sample with the given rate (events/sec).
+  /// Used for Poisson processes (spot interruptions).
+  double Exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Normal sample.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Raw 64-bit draw (for hashing / ID generation).
+  uint64_t Next64() { return engine_(); }
+
+  /// Derives an independent child stream; deterministic given this
+  /// stream's state at the time of the call.
+  Rng Fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace hivesim
+
+#endif  // HIVESIM_COMMON_RNG_H_

@@ -1,0 +1,38 @@
+#ifndef HIVESIM_COMMON_STRINGS_H_
+#define HIVESIM_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hivesim {
+
+/// printf-style formatting into a std::string. The toolchain lacks
+/// `<format>` (GCC 12), so this is the project-wide formatting helper.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Concatenates the string representations of all arguments via ostream.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Splits `text` at every occurrence of `sep`; empty fields are preserved.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace hivesim
+
+#endif  // HIVESIM_COMMON_STRINGS_H_

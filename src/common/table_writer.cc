@@ -1,0 +1,95 @@
+#include "common/table_writer.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace hivesim {
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::AddSeparator() {
+  rows_.push_back({kSeparatorMarker});
+}
+
+void TableWriter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0] == kSeparatorMarker) continue;
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_rule = [&] {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[0].substr(0, 0);
+      os << "| " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0] == kSeparatorMarker) {
+      print_rule();
+    } else {
+      print_row(row);
+    }
+  }
+  print_rule();
+}
+
+std::string TableWriter::ToCsv() const {
+  std::string out = StrJoin(header_, ",") + "\n";
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0] == kSeparatorMarker) continue;
+    out += StrJoin(row, ",") + "\n";
+  }
+  return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(StrFormat("%.6g", v));
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& values) {
+  rows_.push_back(values);
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out = StrJoin(header_, ",") + "\n";
+  for (const auto& row : rows_) out += StrJoin(row, ",") + "\n";
+  return out;
+}
+
+bool CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << ToString();
+  return static_cast<bool>(f);
+}
+
+}  // namespace hivesim

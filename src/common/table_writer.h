@@ -1,0 +1,64 @@
+#ifndef HIVESIM_COMMON_TABLE_WRITER_H_
+#define HIVESIM_COMMON_TABLE_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hivesim {
+
+/// Builds aligned plain-text tables for benchmark output, so every bench
+/// binary can print the same rows the paper's tables/figures report.
+///
+///   TableWriter t({"Setup", "SPS", "$/1M"});
+///   t.AddRow({"8xT4", "261.9", "1.77"});
+///   t.Print(std::cout);
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends one data row; must have the same arity as the header.
+  /// Extra cells are dropped, missing cells render empty.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table with column alignment and a header rule.
+  void Print(std::ostream& os) const;
+
+  /// Renders the same content as CSV (no alignment padding).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  static constexpr const char* kSeparatorMarker = "\x01--";
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes rows of doubles as CSV with a fixed precision; convenience for
+/// dumping figure series for external plotting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(const std::vector<double>& values);
+  void AddRow(const std::vector<std::string>& values);
+
+  /// The full CSV document, header first.
+  std::string ToString() const;
+
+  /// Writes the document to `path`. Returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hivesim
+
+#endif  // HIVESIM_COMMON_TABLE_WRITER_H_

@@ -1,0 +1,40 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hivesim {
+
+namespace {
+std::string Printf(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+}  // namespace
+
+std::string FormatBytes(double bytes) {
+  if (bytes >= kGB) return Printf("%.2f GB", bytes / kGB);
+  if (bytes >= kMB) return Printf("%.2f MB", bytes / kMB);
+  if (bytes >= kKB) return Printf("%.2f KB", bytes / kKB);
+  return Printf("%.0f B", bytes);
+}
+
+std::string FormatRate(double bytes_per_sec) {
+  const double gbps = BytesPerSecToGbps(bytes_per_sec);
+  if (gbps >= 1.0) return Printf("%.2f Gb/s", gbps);
+  return Printf("%.1f Mb/s", BytesPerSecToMbps(bytes_per_sec));
+}
+
+std::string FormatDuration(double seconds) {
+  if (seconds >= kHour) return Printf("%.2fh", seconds / kHour);
+  if (seconds >= kMinute) return Printf("%.1fm", seconds / kMinute);
+  if (seconds >= 1.0) return Printf("%.2fs", seconds);
+  return Printf("%.1fms", seconds * 1e3);
+}
+
+std::string FormatDollars(double dollars) {
+  return Printf("$%.3f", dollars);
+}
+
+}  // namespace hivesim

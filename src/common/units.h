@@ -1,0 +1,62 @@
+#ifndef HIVESIM_COMMON_UNITS_H_
+#define HIVESIM_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hivesim {
+
+/// Strongly suffixed unit helpers. All simulator-facing quantities use SI
+/// base units internally: seconds (double), bytes (double, to allow rates),
+/// bytes/second, and US dollars. These helpers exist so call sites read as
+/// the paper does ("210 Mb/s", "30 GB", "$0.18/h").
+
+// --- Data sizes (bytes) ---
+constexpr double kKB = 1e3;
+constexpr double kMB = 1e6;
+constexpr double kGB = 1e9;
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+/// Converts a link rate quoted in gigabits/second to bytes/second.
+constexpr double GbpsToBytesPerSec(double gbps) { return gbps * 1e9 / 8.0; }
+/// Converts a link rate quoted in megabits/second to bytes/second.
+constexpr double MbpsToBytesPerSec(double mbps) { return mbps * 1e6 / 8.0; }
+/// Converts bytes/second to megabits/second (for reporting).
+constexpr double BytesPerSecToMbps(double bps) { return bps * 8.0 / 1e6; }
+/// Converts bytes/second to gigabits/second (for reporting).
+constexpr double BytesPerSecToGbps(double bps) { return bps * 8.0 / 1e9; }
+
+// --- Time (seconds) ---
+constexpr double kMillisecond = 1e-3;
+constexpr double kSecond = 1.0;
+constexpr double kMinute = 60.0;
+constexpr double kHour = 3600.0;
+
+/// Converts a latency quoted in milliseconds to seconds.
+constexpr double MsToSec(double ms) { return ms * 1e-3; }
+/// Converts seconds to milliseconds (for reporting).
+constexpr double SecToMs(double sec) { return sec * 1e3; }
+
+// --- Money (USD) ---
+/// Converts an hourly price ($/h) to a per-second rate ($/s).
+constexpr double PerHourToPerSec(double per_hour) { return per_hour / kHour; }
+
+/// Cost in $ for `bytes` of traffic priced at `dollars_per_gb` per GB.
+constexpr double TrafficCost(double bytes, double dollars_per_gb) {
+  return bytes / kGB * dollars_per_gb;
+}
+
+/// Renders a byte count with a binary-free SI suffix, e.g. "1.50 GB".
+std::string FormatBytes(double bytes);
+/// Renders a rate as "x.xx Gb/s" or "x.x Mb/s" depending on magnitude.
+std::string FormatRate(double bytes_per_sec);
+/// Renders seconds as "1.2s", "3.4m", or "5.6h" depending on magnitude.
+std::string FormatDuration(double seconds);
+/// Renders dollars as "$1.23".
+std::string FormatDollars(double dollars);
+
+}  // namespace hivesim
+
+#endif  // HIVESIM_COMMON_UNITS_H_

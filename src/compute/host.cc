@@ -1,0 +1,31 @@
+#include "compute/host.h"
+
+#include <array>
+
+#include "common/units.h"
+
+namespace hivesim::compute {
+
+namespace {
+// cpu_ns_per_param fits: on the A10 hosts an averaging round for
+// RoBERTa-XLM (560M params) takes ~8.4 s on two peers, of which ~3 s is
+// CPU-side pack/apply => ~6 ns/param. The GC n1-standard-8 behind the T4s
+// is ~3x slower per the observed 20 s rounds on A-8 (Section 4).
+constexpr std::array<HostSpec, 7> kHostSpecs = {{
+    {HostClass::kGcN1Standard8, "n1-standard-8", 8, 30 * kGB, 17.0},
+    {HostClass::kGcN1Standard8Small, "n1-standard-8-15g", 8, 15 * kGB, 17.0},
+    {HostClass::kAwsG4dn2xlarge, "g4dn.2xlarge", 8, 32 * kGB, 17.0},
+    {HostClass::kAzureNC4asT4v3, "NC4as_T4_v3", 4, 28 * kGB, 20.0},
+    {HostClass::kLambdaA10Host, "lambda-a10-host", 30, 200 * kGB, 6.0},
+    {HostClass::kOnPremWorkstation, "onprem-rtx8000-host", 16, 128 * kGB, 8.0},
+    {HostClass::kDgx2Host, "dgx2-host", 96, 1500 * kGB, 4.0},
+}};
+}  // namespace
+
+const HostSpec& GetHostSpec(HostClass host) {
+  return kHostSpecs[static_cast<size_t>(host)];
+}
+
+std::string_view HostName(HostClass host) { return GetHostSpec(host).name; }
+
+}  // namespace hivesim::compute

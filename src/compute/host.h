@@ -1,0 +1,43 @@
+#ifndef HIVESIM_COMPUTE_HOST_H_
+#define HIVESIM_COMPUTE_HOST_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace hivesim::compute {
+
+/// Host (CPU/RAM) classes behind the GPUs. Hivemind applies accumulated
+/// gradients on the *CPU*, so host speed and RAM matter: the paper had to
+/// move from 15 GB to 30 GB VMs "to meet the memory requirements for
+/// gradient application on the CPU with the biggest models" (Section 4).
+enum class HostClass : uint8_t {
+  kGcN1Standard8,   ///< GC n1-standard-8: 8 vCPU, 30 GB (Section 4).
+  kGcN1Standard8Small,  ///< Same but the rejected 15 GB variant.
+  kAwsG4dn2xlarge,  ///< AWS g4dn.2xlarge: 8 vCPU, 32 GB (Section 5).
+  kAzureNC4asT4v3,  ///< Azure NC4as_T4_v3: 4 vCPU, 28 GB (Section 5).
+  kLambdaA10Host,   ///< LambdaLabs A10 host: fast bare-metal CPUs.
+  kOnPremWorkstation,  ///< RTX8000 workstation (Section 6, setting E).
+  kDgx2Host,        ///< DGX-2 chassis host (Section 6, setting F).
+};
+
+/// Static description of a host class.
+struct HostSpec {
+  HostClass host;
+  std::string_view name;
+  int vcpus;
+  double ram_bytes;
+  /// CPU cost in nanoseconds per model parameter for gradient
+  /// (de)serialization and the optimizer apply step. Calibrated so that
+  /// the simulated communication wall-clock matches the paper's averaging
+  /// rounds (see models/calibration.cc for the fit).
+  double cpu_ns_per_param;
+};
+
+const HostSpec& GetHostSpec(HostClass host);
+std::string_view HostName(HostClass host);
+
+}  // namespace hivesim::compute
+
+#endif  // HIVESIM_COMPUTE_HOST_H_

@@ -1,0 +1,95 @@
+#include "core/cluster.h"
+
+#include "net/profiles.h"
+
+namespace hivesim::core {
+
+int ClusterSpec::TotalVms() const {
+  int total = 0;
+  for (const VmGroup& g : groups) total += g.count;
+  return total;
+}
+
+int ClusterSpec::TotalGpus() const {
+  int total = 0;
+  for (const VmGroup& g : groups) {
+    total += g.count * cloud::GetVmType(g.type).gpu_count;
+  }
+  return total;
+}
+
+Result<Cluster> Cluster::Provision(net::Topology* topology,
+                                   const ClusterSpec& spec) {
+  if (spec.groups.empty()) {
+    return Status::InvalidArgument("cluster spec has no VM groups");
+  }
+  Cluster cluster;
+  for (const VmGroup& group : spec.groups) {
+    if (group.count <= 0) {
+      return Status::InvalidArgument("VM group count must be positive");
+    }
+    if (group.site >= topology->num_sites()) {
+      return Status::InvalidArgument("VM group site out of range");
+    }
+    const cloud::VmType& vm = cloud::GetVmType(group.type);
+    const net::Site& site = topology->site(group.site);
+    if (site.provider != vm.provider) {
+      return Status::InvalidArgument(
+          "VM type provider does not match the site's provider");
+    }
+    const net::NodeNetConfig net_config =
+        vm.provider == net::Provider::kOnPremise ? net::OnPremNetConfig()
+                                                 : net::CloudVmNetConfig();
+    for (int i = 0; i < group.count; ++i) {
+      Member member;
+      member.node = topology->AddNode(group.site, net_config);
+      member.type = group.type;
+      member.site = group.site;
+      member.spot = group.spot;
+      cluster.members_.push_back(member);
+    }
+  }
+  return cluster;
+}
+
+std::vector<hivemind::PeerSpec> Cluster::PeerSpecs() const {
+  std::vector<hivemind::PeerSpec> peers;
+  peers.reserve(members_.size());
+  for (const Member& m : members_) {
+    const cloud::VmType& vm = cloud::GetVmType(m.type);
+    hivemind::PeerSpec peer;
+    peer.node = m.node;
+    peer.gpu = vm.gpu;
+    peer.host = vm.host;
+    peer.gpu_count = vm.gpu_count;
+    peers.push_back(peer);
+  }
+  return peers;
+}
+
+VmGroup GcT4s(int count, net::SiteId site) {
+  return VmGroup{cloud::VmTypeId::kGcT4, site, count, /*spot=*/true};
+}
+
+VmGroup LambdaA10s(int count) {
+  return VmGroup{cloud::VmTypeId::kLambdaA10, net::kLambdaUsWest, count,
+                 /*spot=*/false};
+}
+
+VmGroup AwsT4s(int count) {
+  return VmGroup{cloud::VmTypeId::kAwsT4, net::kAwsUsWest, count, true};
+}
+
+VmGroup AzureT4s(int count) {
+  return VmGroup{cloud::VmTypeId::kAzureT4, net::kAzureUsSouth, count, true};
+}
+
+VmGroup OnPremRtx8000() {
+  return VmGroup{cloud::VmTypeId::kOnPremRtx8000, net::kOnPremEu, 1, false};
+}
+
+VmGroup OnPremDgx2() {
+  return VmGroup{cloud::VmTypeId::kOnPremDgx2, net::kOnPremEu, 1, false};
+}
+
+}  // namespace hivesim::core

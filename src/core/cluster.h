@@ -1,0 +1,73 @@
+#ifndef HIVESIM_CORE_CLUSTER_H_
+#define HIVESIM_CORE_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "cloud/pricing.h"
+#include "common/result.h"
+#include "hivemind/trainer.h"
+#include "net/topology.h"
+
+namespace hivesim::core {
+
+/// A homogeneous group of VMs rented in one site.
+struct VmGroup {
+  cloud::VmTypeId type = cloud::VmTypeId::kGcT4;
+  net::SiteId site = net::kGcUs;
+  int count = 1;
+  bool spot = true;
+};
+
+/// The full fleet of an experiment.
+struct ClusterSpec {
+  std::vector<VmGroup> groups;
+
+  /// Total VM count across groups.
+  int TotalVms() const;
+  /// Total GPU count (VM count x GPUs per VM type).
+  int TotalGpus() const;
+};
+
+/// A provisioned fleet: topology nodes created, peers ready to train.
+class Cluster {
+ public:
+  struct Member {
+    net::NodeId node = 0;
+    cloud::VmTypeId type = cloud::VmTypeId::kGcT4;
+    net::SiteId site = net::kGcUs;
+    bool spot = true;
+  };
+
+  /// Registers every VM as a node on `topology` (on-prem machines get the
+  /// small-window TCP config, cloud VMs the tuned one).
+  static Result<Cluster> Provision(net::Topology* topology,
+                                   const ClusterSpec& spec);
+
+  const std::vector<Member>& members() const { return members_; }
+
+  /// Hivemind peer descriptions (GPU/host/gpu_count from the VM types).
+  std::vector<hivemind::PeerSpec> PeerSpecs() const;
+
+ private:
+  std::vector<Member> members_;
+};
+
+// --- Shorthand builders used by the experiment catalog and examples ---
+
+/// `count` GC T4 spot VMs in `site`.
+VmGroup GcT4s(int count, net::SiteId site = net::kGcUs);
+/// `count` LambdaLabs A10 VMs (on-demand; Lambda has no spot tier).
+VmGroup LambdaA10s(int count);
+/// `count` AWS T4 spot VMs (us-west-2).
+VmGroup AwsT4s(int count);
+/// `count` Azure T4 spot VMs (us-south-2).
+VmGroup AzureT4s(int count);
+/// The on-prem RTX8000 workstation (setting E).
+VmGroup OnPremRtx8000();
+/// The on-prem DGX-2 (setting F), entering the swarm as one 8-GPU peer.
+VmGroup OnPremDgx2();
+
+}  // namespace hivesim::core
+
+#endif  // HIVESIM_CORE_CLUSTER_H_

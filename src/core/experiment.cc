@@ -1,0 +1,115 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+
+#include "baselines/baselines.h"
+#include "common/units.h"
+#include "net/network.h"
+#include "net/profiles.h"
+#include "sim/simulator.h"
+
+namespace hivesim::core {
+
+Result<ExperimentResult> RunHivemindExperiment(
+    const ClusterSpec& cluster_spec, const ExperimentConfig& config) {
+  sim::Simulator sim;
+  net::Topology topology = net::StandardWorld();
+  Cluster cluster;
+  HIVESIM_ASSIGN_OR_RETURN(cluster,
+                           Cluster::Provision(&topology, cluster_spec));
+  net::Network network(&sim, &topology);
+
+  hivemind::TrainerConfig trainer_config;
+  trainer_config.model = config.model;
+  trainer_config.target_batch_size = config.target_batch_size;
+  trainer_config.delayed_parameter_updates = config.delayed_parameter_updates;
+  trainer_config.compression = config.compression;
+  trainer_config.strategy = config.strategy;
+  trainer_config.streams_per_transfer = config.streams_per_transfer;
+  trainer_config.seed = config.seed;
+
+  hivemind::Trainer trainer(&network, trainer_config);
+  for (const hivemind::PeerSpec& peer : cluster.PeerSpecs()) {
+    HIVESIM_RETURN_IF_ERROR(trainer.AddPeer(peer));
+  }
+
+  ExperimentResult result;
+  HIVESIM_ASSIGN_OR_RETURN(result.train,
+                           trainer.RunFor(config.duration_sec));
+  const double duration =
+      result.train.duration_sec > 0 ? result.train.duration_sec
+                                    : config.duration_sec;
+  const double hours = duration / kHour;
+
+  // Per-VM billing: egress bucketed by destination site, plus B2 data.
+  const auto& members = cluster.members();
+  for (const Cluster::Member& member : members) {
+    cloud::VmUsage usage;
+    usage.type = member.type;
+    usage.site = topology.site(member.site);
+    usage.spot = member.spot;
+    usage.hours = hours;
+    for (size_t dst_site = 0; dst_site < topology.num_sites(); ++dst_site) {
+      double bytes = 0;
+      for (const Cluster::Member& other : members) {
+        if (other.node == member.node) continue;
+        if (topology.SiteOf(other.node) != dst_site) continue;
+        bytes += network.BytesBetweenNodes(member.node, other.node);
+      }
+      if (bytes > 0) {
+        usage.egress_bytes_by_dst.emplace_back(
+            topology.site(static_cast<net::SiteId>(dst_site)), bytes);
+      }
+    }
+    auto ingress = trainer.DataIngressBytes(member.node);
+    usage.data_ingress_bytes = ingress.ok() ? *ingress : 0.0;
+    result.usages.push_back(std::move(usage));
+
+    result.peak_egress_bps.push_back(
+        network.NodePeakEgressRate(member.node));
+    result.avg_egress_bps.push_back(
+        duration > 0 ? network.NodeEgressBytes(member.node) / duration : 0);
+  }
+
+  result.fleet_cost = cloud::PriceFleet(result.usages);
+  if (hours > 0) {
+    result.fleet_cost_per_hour = result.fleet_cost.Total() / hours;
+    result.fleet_cost_per_hour_excl_data =
+        (result.fleet_cost.Total() - result.fleet_cost.data_loading) / hours;
+  }
+  result.cost_per_million = cloud::CostPerMillionSamples(
+      result.fleet_cost_per_hour, result.train.throughput_sps);
+  result.cost_per_million_excl_data = cloud::CostPerMillionSamples(
+      result.fleet_cost_per_hour_excl_data, result.train.throughput_sps);
+  return result;
+}
+
+Result<CentralizedResult> RunCentralizedBaseline(cloud::VmTypeId type,
+                                                 models::ModelId model) {
+  const cloud::VmType& vm = cloud::GetVmType(type);
+  CentralizedResult result;
+  if (vm.gpu_count > 1) {
+    baselines::DdpNodeConfig node;
+    node.model = model;
+    node.gpu = vm.gpu;
+    node.gpu_count = vm.gpu_count;
+    node.host = vm.host;
+    node.interconnect_bytes_per_sec =
+        vm.gpu == compute::GpuModel::kV100 ? 120e9 : 5.4e9;
+    HIVESIM_ASSIGN_OR_RETURN(result.throughput_sps,
+                             baselines::DdpThroughput(node));
+  } else {
+    HIVESIM_ASSIGN_OR_RETURN(
+        result.throughput_sps,
+        baselines::SingleGpuThroughput(model, vm.gpu, vm.host));
+  }
+  result.spot_per_hour = vm.spot_per_hour;
+  result.ondemand_per_hour = vm.ondemand_per_hour;
+  result.spot_cost_per_million = cloud::CostPerMillionSamples(
+      vm.spot_per_hour, result.throughput_sps);
+  result.ondemand_cost_per_million = cloud::CostPerMillionSamples(
+      vm.ondemand_per_hour, result.throughput_sps);
+  return result;
+}
+
+}  // namespace hivesim::core

@@ -1,0 +1,68 @@
+#ifndef HIVESIM_CORE_EXPERIMENT_H_
+#define HIVESIM_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "cloud/cost.h"
+#include "common/result.h"
+#include "core/cluster.h"
+#include "hivemind/trainer.h"
+#include "models/model_zoo.h"
+
+namespace hivesim::core {
+
+/// Parameters of one training experiment.
+struct ExperimentConfig {
+  models::ModelId model = models::ModelId::kConvNextLarge;
+  int target_batch_size = 32768;
+  /// Simulated wall-clock to train for.
+  double duration_sec = 2 * 3600.0;
+  bool delayed_parameter_updates = true;
+  models::Compression compression = models::Compression::kFp16;
+  collective::Strategy strategy = collective::Strategy::kAuto;
+  int streams_per_transfer = 1;
+  uint64_t seed = 1;
+};
+
+/// Everything a bench needs to print a paper row.
+struct ExperimentResult {
+  hivemind::RunStats train;          ///< Throughput/calc/comm/granularity.
+  cloud::CostBreakdown fleet_cost;   ///< Dollars over the whole run.
+  double fleet_cost_per_hour = 0;    ///< Fleet total $/h (all components).
+  double cost_per_million = 0;       ///< $ per 1M processed samples.
+  /// Same, excluding the one-time B2 data-loading cost — the accounting
+  /// the paper's Fig. 1/15/17 use ("including egress costs"; data
+  /// streaming is a one-time cost until the dataset is cached).
+  double fleet_cost_per_hour_excl_data = 0;
+  double cost_per_million_excl_data = 0;
+  std::vector<cloud::VmUsage> usages;      ///< Per-VM billing inputs.
+  std::vector<double> peak_egress_bps;     ///< Per-VM peak egress rate.
+  std::vector<double> avg_egress_bps;      ///< Per-VM average egress rate.
+};
+
+/// Runs a decentralized (Hivemind) training experiment on a fresh copy of
+/// the standard world: provisions the fleet, trains for the configured
+/// duration, and prices the run (instance + egress split + B2 data).
+Result<ExperimentResult> RunHivemindExperiment(const ClusterSpec& cluster,
+                                               const ExperimentConfig& config);
+
+/// A centralized single-node competitor (for Figs. 1, 15, 17).
+struct CentralizedResult {
+  double throughput_sps = 0;
+  double spot_per_hour = 0;
+  double ondemand_per_hour = 0;
+  double spot_cost_per_million = 0;
+  double ondemand_cost_per_million = 0;
+};
+
+/// Prices the single-GPU baseline or a DDP node of `type` training
+/// `model`. Multi-GPU types run PyTorch DDP; single-GPU types run the
+/// gradient-accumulation baseline. Returns OutOfMemory where the paper's
+/// run OOMed.
+Result<CentralizedResult> RunCentralizedBaseline(cloud::VmTypeId type,
+                                                 models::ModelId model);
+
+}  // namespace hivesim::core
+
+#endif  // HIVESIM_CORE_EXPERIMENT_H_

@@ -1,0 +1,40 @@
+#include "core/granularity.h"
+
+namespace hivesim::core {
+
+Suitability ClassifyGranularity(double granularity) {
+  if (granularity >= 8.0) return Suitability::kExcellent;
+  if (granularity >= 2.0) return Suitability::kGood;
+  if (granularity >= 0.5) return Suitability::kMarginal;
+  return Suitability::kUnsuitable;
+}
+
+std::string_view SuitabilityName(Suitability s) {
+  switch (s) {
+    case Suitability::kExcellent:
+      return "excellent";
+    case Suitability::kGood:
+      return "good";
+    case Suitability::kMarginal:
+      return "marginal";
+    case Suitability::kUnsuitable:
+      return "unsuitable";
+  }
+  return "?";
+}
+
+std::string_view SuitabilityAdvice(Suitability s) {
+  switch (s) {
+    case Suitability::kExcellent:
+      return "scale freely: doubling the fleet buys >=1.8x";
+    case Suitability::kGood:
+      return "scales: doubling the fleet buys 1.33-1.8x";
+    case Suitability::kMarginal:
+      return "near break-even: add hardware only if it is cheap";
+    case Suitability::kUnsuitable:
+      return "communication-bound: do not add peers, raise the TBS";
+  }
+  return "?";
+}
+
+}  // namespace hivesim::core

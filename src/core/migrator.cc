@@ -1,0 +1,110 @@
+#include "core/migrator.h"
+
+#include <algorithm>
+
+#include "net/profiles.h"
+
+namespace hivesim::core {
+
+SpotMigrator::SpotMigrator(sim::Simulator* sim, net::Topology* topology,
+                           hivemind::Trainer* trainer,
+                           cloud::SpotMarket* market, cloud::VmTypeId vm_type,
+                           MigrationPolicy policy)
+    : sim_(sim),
+      topology_(topology),
+      trainer_(trainer),
+      market_(market),
+      vm_type_(vm_type),
+      policy_(policy) {}
+
+void SpotMigrator::ManagePeer(const hivemind::PeerSpec& peer,
+                              net::SiteId site) {
+  Managed managed;
+  managed.peer = peer;
+  managed.site = site;
+  managed.home_site = site;
+  fleet_.push_back(managed);
+}
+
+void SpotMigrator::Start() {
+  if (running_) return;
+  running_ = true;
+  last_accrual_ = sim_->Now();
+  sim_->Schedule(policy_.check_interval_sec, [this] { Tick(); });
+}
+
+void SpotMigrator::Stop() {
+  if (!running_) return;
+  AccrueCosts(sim_->Now() - last_accrual_);
+  running_ = false;
+}
+
+double SpotMigrator::HourlyRate(net::SiteId site) const {
+  const double base = cloud::GetVmType(vm_type_).spot_per_hour;
+  const net::Continent continent = topology_->site(site).continent;
+  return base * market_->SpotPriceMultiplier(continent, sim_->Now());
+}
+
+void SpotMigrator::AccrueCosts(double dt) {
+  if (dt <= 0) return;
+  const double hours = dt / 3600.0;
+  for (const Managed& managed : fleet_) {
+    report_.fleet_cost += HourlyRate(managed.site) * hours;
+    report_.static_cost += HourlyRate(managed.home_site) * hours;
+  }
+  last_accrual_ = sim_->Now();
+}
+
+void SpotMigrator::Tick() {
+  if (!running_) return;
+  AccrueCosts(sim_->Now() - last_accrual_);
+
+  // Cheapest candidate zone right now.
+  net::SiteId cheapest = policy_.candidate_sites.front();
+  for (net::SiteId site : policy_.candidate_sites) {
+    if (HourlyRate(site) < HourlyRate(cheapest)) cheapest = site;
+  }
+
+  for (Managed& managed : fleet_) {
+    if (in_flight_ >= policy_.max_concurrent_migrations) break;
+    if (managed.migrating || managed.site == cheapest) continue;
+    const double current = HourlyRate(managed.site);
+    const double target = HourlyRate(cheapest);
+    if (target <= current * (1.0 - policy_.min_savings_frac)) {
+      Migrate(managed, cheapest);
+    }
+  }
+
+  sim_->Schedule(policy_.check_interval_sec, [this] { Tick(); });
+}
+
+void SpotMigrator::Migrate(Managed& managed, net::SiteId target) {
+  managed.migrating = true;
+  ++in_flight_;
+  // Release the expensive VM immediately; the swarm keeps training on
+  // the remaining peers while the replacement boots in the cheap zone.
+  trainer_->RemovePeer(managed.peer.node).ok();
+  const double startup = market_->SampleStartupDelay();
+  // The replacement is a fresh VM: new endpoint in the target zone.
+  const net::NodeId new_node =
+      topology_->AddNode(target, net::CloudVmNetConfig());
+  const size_t index = static_cast<size_t>(&managed - fleet_.data());
+  sim_->Schedule(startup, [this, index, new_node, target] {
+    Managed& slot = fleet_[index];
+    slot.peer.node = new_node;
+    slot.site = target;
+    slot.migrating = false;
+    --in_flight_;
+    ++report_.migrations;
+    trainer_->JoinPeer(slot.peer).ok();
+  });
+}
+
+std::vector<net::SiteId> SpotMigrator::PeerSites() const {
+  std::vector<net::SiteId> sites;
+  sites.reserve(fleet_.size());
+  for (const Managed& managed : fleet_) sites.push_back(managed.site);
+  return sites;
+}
+
+}  // namespace hivesim::core

@@ -1,0 +1,107 @@
+#ifndef HIVESIM_CORE_MIGRATOR_H_
+#define HIVESIM_CORE_MIGRATOR_H_
+
+#include <vector>
+
+#include "cloud/pricing.h"
+#include "cloud/spot_market.h"
+#include "hivemind/trainer.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace hivesim::core {
+
+/// Policy of the spot-price migrator.
+struct MigrationPolicy {
+  /// How often to compare zone prices (spot prices move hourly).
+  double check_interval_sec = 3600;
+  /// Migrate a peer only when the target zone is at least this much
+  /// cheaper than its current zone right now.
+  double min_savings_frac = 0.10;
+  /// At most this many peers in flight (being replaced) at once, so the
+  /// swarm never loses more than a sliver of capacity to migration.
+  int max_concurrent_migrations = 1;
+  /// Zones considered as migration targets.
+  std::vector<net::SiteId> candidate_sites = {net::kGcUs, net::kGcEu,
+                                              net::kGcAsia, net::kGcAus};
+};
+
+/// SkyPilot-meets-Hivemind: the combination the paper's related-work
+/// section sketches ("it would open up auto-migrated, decentralized DL
+/// training for the best spot prices in the world", Section 9).
+///
+/// Watches the hourly spot price multiplier of every candidate zone and,
+/// when another zone undercuts a peer's zone by `min_savings_frac`,
+/// replaces that peer: the old VM is released (RemovePeer), a new one is
+/// provisioned in the cheap zone (startup delay from the market model),
+/// and it re-joins the swarm with the usual two-epoch state sync. The
+/// decentralized trainer keeps making steps throughout — no
+/// checkpointing, the migration is "interruption-free" from the
+/// training's perspective.
+class SpotMigrator {
+ public:
+  /// All pointers must outlive the migrator. `vm_type` prices the fleet
+  /// (its spot rate times the zone's hourly multiplier).
+  SpotMigrator(sim::Simulator* sim, net::Topology* topology,
+               hivemind::Trainer* trainer, cloud::SpotMarket* market,
+               cloud::VmTypeId vm_type,
+               MigrationPolicy policy = MigrationPolicy());
+
+  SpotMigrator(const SpotMigrator&) = delete;
+  SpotMigrator& operator=(const SpotMigrator&) = delete;
+
+  /// Registers a fleet member the migrator may move. Call for every peer
+  /// before Start(); the peer must already be in the trainer.
+  void ManagePeer(const hivemind::PeerSpec& peer, net::SiteId site);
+
+  /// Begins the hourly price watch.
+  void Start();
+  /// Stops watching (pending replacement provisioning still completes).
+  void Stop();
+
+  /// Outcome so far.
+  struct Report {
+    int migrations = 0;
+    /// Instance dollars actually paid by the (migrating) fleet.
+    double fleet_cost = 0;
+    /// What the same fleet would have paid staying in its initial zones.
+    double static_cost = 0;
+    double SavingsFrac() const {
+      return static_cost > 0 ? 1.0 - fleet_cost / static_cost : 0.0;
+    }
+  };
+  Report GetReport() const { return report_; }
+
+  /// Current zone of each managed peer (diagnostics/tests).
+  std::vector<net::SiteId> PeerSites() const;
+
+ private:
+  struct Managed {
+    hivemind::PeerSpec peer;
+    net::SiteId site;
+    net::SiteId home_site;  ///< Where it started (for the static baseline).
+    bool migrating = false;
+  };
+
+  void Tick();
+  /// Accrues instance cost for the elapsed interval at current prices.
+  void AccrueCosts(double dt);
+  double HourlyRate(net::SiteId site) const;
+  void Migrate(Managed& managed, net::SiteId target);
+
+  sim::Simulator* sim_;
+  net::Topology* topology_;
+  hivemind::Trainer* trainer_;
+  cloud::SpotMarket* market_;
+  cloud::VmTypeId vm_type_;
+  MigrationPolicy policy_;
+  std::vector<Managed> fleet_;
+  bool running_ = false;
+  int in_flight_ = 0;
+  double last_accrual_ = 0;
+  Report report_;
+};
+
+}  // namespace hivesim::core
+
+#endif  // HIVESIM_CORE_MIGRATOR_H_

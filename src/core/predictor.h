@@ -1,0 +1,29 @@
+#ifndef HIVESIM_CORE_PREDICTOR_H_
+#define HIVESIM_CORE_PREDICTOR_H_
+
+#include "common/result.h"
+
+namespace hivesim::core {
+
+/// The paper's granularity-based scaling rule (Section 8, "Granularity is
+/// important to evaluate scalability"): with granularity g (calculation /
+/// communication time), multiplying the fleet by `peer_factor` k divides
+/// the calculation time by k while communication stays, so the best-case
+/// speedup is
+///     (g + 1) / (g / k + 1).
+/// At g = 1 doubling the VMs yields at most 1.33x; at g = 10, 1.83x.
+double PredictSpeedupFactor(double granularity, double peer_factor);
+
+/// Predicts throughput at `target_peers` from a measurement at
+/// `measured_peers` with the given throughput and granularity. The
+/// communication term additionally grows linearly with the peer count
+/// (Section 4(B): "communication overhead scales linearly with the number
+/// of peers"), which `comm_growth_per_peer` controls (0 = the paper's
+/// best-case rule above).
+Result<double> PredictThroughput(double measured_sps, double granularity,
+                                 int measured_peers, int target_peers,
+                                 double comm_growth_per_peer = 0.0);
+
+}  // namespace hivesim::core
+
+#endif  // HIVESIM_CORE_PREDICTOR_H_

@@ -1,0 +1,113 @@
+#include "data/shard.h"
+
+#include "common/strings.h"
+
+namespace hivesim::data {
+
+uint64_t Sample::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [ext, bytes] : fields) total += bytes.size();
+  return total;
+}
+
+std::pair<std::string, std::string> SplitKeyExt(const std::string& name) {
+  const size_t slash = name.find_last_of('/');
+  const size_t base_start = slash == std::string::npos ? 0 : slash + 1;
+  const size_t dot = name.find('.', base_start);
+  if (dot == std::string::npos) {
+    return {name.substr(base_start), ""};
+  }
+  return {name.substr(base_start, dot - base_start), name.substr(dot + 1)};
+}
+
+ShardWriter::ShardWriter(const std::string& path)
+    : file_(path, std::ios::binary) {
+  if (!file_) {
+    status_ = Status::IOError(StrCat("cannot open shard for write: ", path));
+    return;
+  }
+  tar_.emplace(file_);
+}
+
+Status ShardWriter::Write(const Sample& sample) {
+  HIVESIM_RETURN_IF_ERROR(status_);
+  if (closed_) return Status::FailedPrecondition("shard already closed");
+  if (sample.key.empty()) {
+    return Status::InvalidArgument("sample key must not be empty");
+  }
+  if (sample.fields.empty()) {
+    return Status::InvalidArgument("sample must have at least one field");
+  }
+  for (const auto& [ext, bytes] : sample.fields) {
+    HIVESIM_RETURN_IF_ERROR(tar_->AddFile(sample.key + "." + ext, bytes));
+  }
+  ++samples_written_;
+  return Status::OK();
+}
+
+Status ShardWriter::Close() {
+  HIVESIM_RETURN_IF_ERROR(status_);
+  if (closed_) return Status::FailedPrecondition("shard already closed");
+  closed_ = true;
+  HIVESIM_RETURN_IF_ERROR(tar_->Finish());
+  file_.close();
+  if (!file_ && file_.bad()) return Status::IOError("shard close failed");
+  return Status::OK();
+}
+
+uint64_t ShardWriter::bytes_written() const {
+  return tar_ ? tar_->bytes_written() : 0;
+}
+
+ShardReader::ShardReader(const std::string& path)
+    : file_(path, std::ios::binary) {
+  if (!file_) {
+    status_ = Status::IOError(StrCat("cannot open shard for read: ", path));
+    return;
+  }
+  tar_.emplace(file_);
+}
+
+Result<std::optional<Sample>> ShardReader::Next() {
+  HIVESIM_RETURN_IF_ERROR(status_);
+  if (exhausted_ && !pending_.has_value()) {
+    return std::optional<Sample>(std::nullopt);
+  }
+
+  Sample sample;
+  while (true) {
+    std::optional<TarEntry> entry;
+    if (pending_.has_value()) {
+      entry = std::move(pending_);
+      pending_.reset();
+    } else if (!exhausted_) {
+      auto next = tar_->Next();
+      if (!next.ok()) return next.status();
+      entry = std::move(*next);
+      if (!entry.has_value()) exhausted_ = true;
+    }
+
+    if (!entry.has_value()) {
+      if (sample.key.empty()) return std::optional<Sample>(std::nullopt);
+      return std::optional<Sample>(std::move(sample));
+    }
+
+    auto [key, ext] = SplitKeyExt(entry->name);
+    if (key.empty()) {
+      return Status::Corruption(
+          StrCat("shard entry without a key: ", entry->name));
+    }
+    if (sample.key.empty()) {
+      sample.key = key;
+    } else if (key != sample.key) {
+      pending_ = std::move(entry);  // First field of the next sample.
+      return std::optional<Sample>(std::move(sample));
+    }
+    if (!sample.fields.emplace(ext, std::move(entry->data)).second) {
+      return Status::Corruption(
+          StrCat("duplicate field '", ext, "' for sample ", key));
+    }
+  }
+}
+
+}  // namespace hivesim::data

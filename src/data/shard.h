@@ -1,0 +1,86 @@
+#ifndef HIVESIM_DATA_SHARD_H_
+#define HIVESIM_DATA_SHARD_H_
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/tar.h"
+
+namespace hivesim::data {
+
+/// One training sample: a WebDataset record, i.e. all tar entries sharing
+/// the same basename key ("000123.jpg" + "000123.cls" -> key "000123").
+struct Sample {
+  std::string key;
+  /// Extension ("jpg", "cls", ...) -> payload.
+  std::map<std::string, std::vector<uint8_t>> fields;
+
+  /// Total payload bytes across fields.
+  uint64_t TotalBytes() const;
+};
+
+/// Writes samples to a tar shard following the WebDataset convention:
+/// every field of a sample becomes a file "<key>.<ext>", fields of one
+/// sample are consecutive in the archive.
+class ShardWriter {
+ public:
+  /// Opens `path` for writing; check `status()` before use.
+  explicit ShardWriter(const std::string& path);
+
+  ShardWriter(const ShardWriter&) = delete;
+  ShardWriter& operator=(const ShardWriter&) = delete;
+
+  Status status() const { return status_; }
+
+  /// Appends one sample (its fields in deterministic ext order).
+  Status Write(const Sample& sample);
+
+  /// Finalizes the archive; must be called before destruction for a
+  /// readable shard.
+  Status Close();
+
+  uint64_t bytes_written() const;
+  int samples_written() const { return samples_written_; }
+
+ private:
+  std::ofstream file_;
+  std::optional<TarWriter> tar_;
+  Status status_;
+  int samples_written_ = 0;
+  bool closed_ = false;
+};
+
+/// Streaming reader over a tar shard, grouping consecutive entries with a
+/// shared key back into `Sample`s (the WebDataset contract).
+class ShardReader {
+ public:
+  explicit ShardReader(const std::string& path);
+
+  ShardReader(const ShardReader&) = delete;
+  ShardReader& operator=(const ShardReader&) = delete;
+
+  Status status() const { return status_; }
+
+  /// Next sample, nullopt at end of shard, Corruption on malformed data.
+  Result<std::optional<Sample>> Next();
+
+ private:
+  std::ifstream file_;
+  std::optional<TarReader> tar_;
+  Status status_;
+  std::optional<TarEntry> pending_;
+  bool exhausted_ = false;
+};
+
+/// Splits "dir/000123.jpg" into {"000123", "jpg"} (WebDataset keying:
+/// extension starts at the *first* dot of the basename, so "x.seg.png"
+/// has key "x" and extension "seg.png").
+std::pair<std::string, std::string> SplitKeyExt(const std::string& name);
+
+}  // namespace hivesim::data
+
+#endif  // HIVESIM_DATA_SHARD_H_

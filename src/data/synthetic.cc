@@ -1,0 +1,106 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/strings.h"
+#include "common/units.h"
+#include "data/shard.h"
+
+namespace hivesim::data {
+
+namespace {
+
+double DefaultSampleBytes(models::Domain domain) {
+  switch (domain) {
+    case models::Domain::kCV:
+      return 110 * kKB;
+    case models::Domain::kNLP:
+      return 7.7 * kKB;
+    case models::Domain::kASR:
+      return 240 * kKB;
+  }
+  return 10 * kKB;
+}
+
+std::vector<uint8_t> RandomBlob(Rng& rng, size_t size) {
+  std::vector<uint8_t> blob(size);
+  for (auto& b : blob) b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  return blob;
+}
+
+Sample MakeSample(Rng& rng, models::Domain domain, int index,
+                  double mean_bytes) {
+  Sample sample;
+  sample.key = StrFormat("%08d", index);
+  // +-10% size jitter, mimicking JPEG/text length variance.
+  const double jitter = rng.Uniform(0.9, 1.1);
+  const auto payload = static_cast<size_t>(
+      std::max(64.0, mean_bytes * jitter));
+  switch (domain) {
+    case models::Domain::kCV: {
+      sample.fields["jpg"] = RandomBlob(rng, payload);
+      const std::string label = StrFormat("%d", (int)rng.UniformInt(0, 999));
+      sample.fields["cls"] =
+          std::vector<uint8_t>(label.begin(), label.end());
+      break;
+    }
+    case models::Domain::kNLP: {
+      sample.fields["txt"] = RandomBlob(rng, payload);
+      break;
+    }
+    case models::Domain::kASR: {
+      // ~95% spectrogram, ~5% transcript.
+      sample.fields["mel"] =
+          RandomBlob(rng, static_cast<size_t>(payload * 0.95));
+      sample.fields["txt"] =
+          RandomBlob(rng, std::max<size_t>(16, payload / 20));
+      break;
+    }
+  }
+  return sample;
+}
+
+}  // namespace
+
+Result<DatasetManifest> GenerateSyntheticDataset(
+    const std::string& dir, const SyntheticDatasetConfig& config) {
+  if (config.num_samples <= 0 || config.samples_per_shard <= 0) {
+    return Status::InvalidArgument("sample counts must be positive");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError(StrCat("cannot create dataset dir: ", dir));
+  }
+
+  Rng rng(config.seed);
+  const double mean_bytes = config.sample_bytes > 0
+                                ? config.sample_bytes
+                                : DefaultSampleBytes(config.domain);
+
+  DatasetManifest manifest;
+  int written = 0;
+  int shard_index = 0;
+  while (written < config.num_samples) {
+    const std::string path =
+        StrCat(dir, "/", StrFormat("shard-%06d.tar", shard_index++));
+    ShardWriter writer(path);
+    HIVESIM_RETURN_IF_ERROR(writer.status());
+    const int in_this_shard =
+        std::min(config.samples_per_shard, config.num_samples - written);
+    for (int i = 0; i < in_this_shard; ++i) {
+      HIVESIM_RETURN_IF_ERROR(
+          writer.Write(MakeSample(rng, config.domain, written + i,
+                                  mean_bytes)));
+    }
+    HIVESIM_RETURN_IF_ERROR(writer.Close());
+    manifest.shard_paths.push_back(path);
+    manifest.total_bytes += writer.bytes_written();
+    written += in_this_shard;
+  }
+  manifest.num_samples = written;
+  return manifest;
+}
+
+}  // namespace hivesim::data

@@ -1,0 +1,42 @@
+#ifndef HIVESIM_DATA_SYNTHETIC_H_
+#define HIVESIM_DATA_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "models/model_zoo.h"
+
+namespace hivesim::data {
+
+/// Parameters for generating a synthetic dataset in WebDataset shard
+/// layout. Stands in for ImageNet-1K / Wikipedia / CommonVoice, which are
+/// not available offline; field names and per-sample byte sizes match the
+/// real pipelines so the I/O path is exercised identically.
+struct SyntheticDatasetConfig {
+  models::Domain domain = models::Domain::kCV;
+  int num_samples = 1000;
+  int samples_per_shard = 100;
+  /// Mean on-the-wire bytes per sample; defaults per domain when 0
+  /// (110 KB JPEG, 7.7 KB token text, 240 KB Log-Mel spectrogram).
+  double sample_bytes = 0;
+  uint64_t seed = 1;
+};
+
+/// Where the generated shards ended up.
+struct DatasetManifest {
+  std::vector<std::string> shard_paths;
+  int num_samples = 0;
+  uint64_t total_bytes = 0;  ///< Sum of shard file sizes.
+};
+
+/// Generates `config.num_samples` synthetic samples into tar shards under
+/// `dir` (created if missing), named "shard-000000.tar", .... CV samples
+/// carry {jpg, cls}, NLP {txt}, ASR {mel, txt}. Deterministic per seed.
+Result<DatasetManifest> GenerateSyntheticDataset(
+    const std::string& dir, const SyntheticDatasetConfig& config);
+
+}  // namespace hivesim::data
+
+#endif  // HIVESIM_DATA_SYNTHETIC_H_

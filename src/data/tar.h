@@ -1,0 +1,76 @@
+#ifndef HIVESIM_DATA_TAR_H_
+#define HIVESIM_DATA_TAR_H_
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hivesim::data {
+
+/// One file inside a tar archive.
+struct TarEntry {
+  std::string name;
+  std::vector<uint8_t> data;
+};
+
+/// Minimal USTAR writer. The paper streams datasets as tar shards via the
+/// WebDataset library "due to ... having an easy to work with archive
+/// format"; this is the same on-disk format, written from scratch.
+///
+/// Usage:
+///   TarWriter w(stream);
+///   w.AddFile("000001.jpg", bytes);
+///   w.Finish();
+class TarWriter {
+ public:
+  explicit TarWriter(std::ostream& out) : out_(&out) {}
+
+  TarWriter(const TarWriter&) = delete;
+  TarWriter& operator=(const TarWriter&) = delete;
+
+  /// Appends a regular file. Names longer than 100 bytes are rejected
+  /// (WebDataset keys are short).
+  Status AddFile(const std::string& name, const std::vector<uint8_t>& data);
+
+  /// Writes the two terminating zero blocks. Must be called exactly once.
+  Status Finish();
+
+  /// Bytes emitted so far (headers + padded data + terminator).
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::ostream* out_;
+  uint64_t bytes_written_ = 0;
+  bool finished_ = false;
+};
+
+/// Streaming USTAR reader with checksum verification.
+///
+///   TarReader r(stream);
+///   while (auto entry = r.Next(); entry.ok() && entry->has_value()) ...
+class TarReader {
+ public:
+  explicit TarReader(std::istream& in) : in_(&in) {}
+
+  TarReader(const TarReader&) = delete;
+  TarReader& operator=(const TarReader&) = delete;
+
+  /// Reads the next regular file. Returns nullopt at the end-of-archive
+  /// marker (or clean EOF), and Corruption for malformed headers, bad
+  /// checksums, or truncated data.
+  Result<std::optional<TarEntry>> Next();
+
+ private:
+  std::istream* in_;
+  bool done_ = false;
+};
+
+}  // namespace hivesim::data
+
+#endif  // HIVESIM_DATA_TAR_H_

@@ -1,0 +1,392 @@
+#include "dht/dht.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "common/logging.h"
+
+namespace hivesim::dht {
+
+namespace {
+int BucketIndex(Key distance) {
+  // Position of the highest set bit; distance 0 never reaches here.
+  return 63 - __builtin_clzll(distance);
+}
+}  // namespace
+
+Key KeyFromString(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a 64.
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+DhtNetwork::DhtNetwork(net::Network* network, DhtConfig config)
+    : network_(network), config_(config) {}
+
+Node* DhtNetwork::CreateNode(net::NodeId endpoint, Key id) {
+  auto node = std::unique_ptr<Node>(new Node(this, endpoint, id));
+  Node* ptr = node.get();
+  nodes_[endpoint] = std::move(node);
+  return ptr;
+}
+
+Node* DhtNetwork::NodeAt(net::NodeId endpoint) {
+  auto it = nodes_.find(endpoint);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+Node::Node(DhtNetwork* dht, net::NodeId endpoint, Key id)
+    : dht_(dht), endpoint_(endpoint), id_(id), buckets_(64) {}
+
+void Node::Touch(const Contact& contact) {
+  if (contact.id == id_) return;
+  const int idx = BucketIndex(Distance(id_, contact.id));
+  auto& bucket = buckets_[idx];
+  auto it = std::find_if(bucket.begin(), bucket.end(), [&](const Contact& c) {
+    return c.id == contact.id;
+  });
+  if (it != bucket.end()) {
+    // Move to the most-recently-seen end.
+    Contact c = *it;
+    bucket.erase(it);
+    bucket.push_back(c);
+    return;
+  }
+  if (static_cast<int>(bucket.size()) < dht_->config().k) {
+    bucket.push_back(contact);
+  }
+  // Full bucket: Kademlia would ping the LRU entry; we keep the old
+  // (long-lived peers are the most reliable) and drop the newcomer.
+}
+
+std::vector<Contact> Node::ClosestContacts(Key target, int count) const {
+  std::vector<Contact> all;
+  for (const auto& bucket : buckets_) {
+    all.insert(all.end(), bucket.begin(), bucket.end());
+  }
+  std::sort(all.begin(), all.end(), [target](const Contact& a,
+                                             const Contact& b) {
+    return Distance(a.id, target) < Distance(b.id, target);
+  });
+  if (static_cast<int>(all.size()) > count) all.resize(count);
+  return all;
+}
+
+void Node::ExpireValues() {
+  const double now = dht_->simulator().Now();
+  for (auto it = store_.begin(); it != store_.end();) {
+    if (it->second.expires_at <= now) {
+      it = store_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t Node::stored_values() const {
+  size_t live = 0;
+  const double now = dht_->simulator().Now();
+  for (const auto& [key, v] : store_) {
+    if (v.expires_at > now) ++live;
+  }
+  return live;
+}
+
+std::vector<Contact> Node::KnownContacts() const {
+  std::vector<Contact> all;
+  for (const auto& bucket : buckets_) {
+    all.insert(all.end(), bucket.begin(), bucket.end());
+  }
+  return all;
+}
+
+// --- Server-side handlers ---
+
+std::vector<Contact> Node::HandleFindNode(const Contact& from, Key target) {
+  Touch(from);
+  return ClosestContacts(target, dht_->config().k);
+}
+
+void Node::HandleStore(const Contact& from, Key key, std::string value,
+                       double ttl_sec) {
+  Touch(from);
+  ExpireValues();
+  store_[key] = StoredValue{std::move(value),
+                            dht_->simulator().Now() + ttl_sec};
+}
+
+std::pair<std::optional<std::string>, std::vector<Contact>>
+Node::HandleFindValue(const Contact& from, Key key) {
+  Touch(from);
+  ExpireValues();
+  auto it = store_.find(key);
+  if (it != store_.end()) {
+    return {it->second.value, {}};
+  }
+  return {std::nullopt, ClosestContacts(key, dht_->config().k)};
+}
+
+// --- Client-side RPCs ---
+
+void Node::RpcLookup(const Contact& peer, Key target, bool want_value,
+                     std::function<void(bool, std::optional<std::string>,
+                                        std::vector<Contact>)>
+                         on_reply) {
+  auto replied = std::make_shared<bool>(false);
+  sim::Simulator& sim = dht_->simulator();
+
+  // Timeout guard.
+  sim.Schedule(dht_->config().rpc_timeout_sec,
+               [replied, on_reply] {
+                 if (!*replied) {
+                   *replied = true;
+                   on_reply(false, std::nullopt, {});
+                 }
+               });
+
+  const Contact self{id_, endpoint_};
+  Status sent = dht_->network().SendMessage(
+      endpoint_, peer.node, dht_->config().rpc_bytes,
+      [this, peer, target, want_value, self, replied, on_reply] {
+        Node* server = dht_->NodeAt(peer.node);
+        if (server == nullptr || !server->online()) return;  // Timeout path.
+        std::optional<std::string> value;
+        std::vector<Contact> contacts;
+        if (want_value) {
+          auto [v, c] = server->HandleFindValue(self, target);
+          value = std::move(v);
+          contacts = std::move(c);
+        } else {
+          contacts = server->HandleFindNode(self, target);
+        }
+        const double reply_bytes =
+            dht_->config().rpc_bytes + (value ? value->size() : 0);
+        dht_->network()
+            .SendMessage(peer.node, endpoint_, reply_bytes,
+                         [this, replied, on_reply, value = std::move(value),
+                          contacts = std::move(contacts)]() mutable {
+                           if (*replied || !online_) return;
+                           *replied = true;
+                           on_reply(true, std::move(value),
+                                    std::move(contacts));
+                         })
+            .ok();
+      });
+  if (!sent.ok() && !*replied) {
+    *replied = true;
+    on_reply(false, std::nullopt, {});
+  }
+}
+
+void Node::RpcStore(const Contact& peer, Key key, const std::string& value,
+                    double ttl_sec, std::function<void(bool)> on_reply) {
+  if (peer.node == endpoint_) {
+    HandleStore(Contact{id_, endpoint_}, key, value, ttl_sec);
+    on_reply(true);
+    return;
+  }
+  auto replied = std::make_shared<bool>(false);
+  sim::Simulator& sim = dht_->simulator();
+  sim.Schedule(dht_->config().rpc_timeout_sec, [replied, on_reply] {
+    if (!*replied) {
+      *replied = true;
+      on_reply(false);
+    }
+  });
+  const Contact self{id_, endpoint_};
+  dht_->network()
+      .SendMessage(endpoint_, peer.node,
+                   dht_->config().rpc_bytes + value.size(),
+                   [this, peer, key, value, ttl_sec, self, replied,
+                    on_reply] {
+                     Node* server = dht_->NodeAt(peer.node);
+                     if (server == nullptr || !server->online()) return;
+                     server->HandleStore(self, key, value, ttl_sec);
+                     dht_->network()
+                         .SendMessage(peer.node, endpoint_,
+                                      dht_->config().rpc_bytes,
+                                      [this, replied, on_reply] {
+                                        if (*replied || !online_) return;
+                                        *replied = true;
+                                        on_reply(true);
+                                      })
+                         .ok();
+                   })
+      .ok();
+}
+
+// --- Iterative lookup ---
+
+void Node::IterativeLookup(Key target, bool want_value,
+                           GetCallback value_done,
+                           ContactsCallback contacts_done) {
+  struct LookupState {
+    Key target;
+    bool want_value;
+    // Distance-ordered candidate set.
+    std::map<Key, Contact> shortlist;
+    std::set<Key> queried;
+    std::set<Key> responded;
+    int inflight = 0;
+    bool finished = false;
+    GetCallback value_done;
+    ContactsCallback contacts_done;
+  };
+  auto state = std::make_shared<LookupState>();
+  state->target = target;
+  state->want_value = want_value;
+  state->value_done = std::move(value_done);
+  state->contacts_done = std::move(contacts_done);
+  for (const Contact& c : ClosestContacts(target, dht_->config().k)) {
+    state->shortlist.emplace(Distance(c.id, target), c);
+  }
+
+  auto finish = [this, state](std::optional<std::string> value) {
+    if (state->finished) return;
+    state->finished = true;
+    if (state->want_value) {
+      if (value.has_value()) {
+        state->value_done(std::move(*value));
+      } else {
+        state->value_done(Status::NotFound("key not found in DHT"));
+      }
+      return;
+    }
+    std::vector<Contact> result;
+    for (const auto& [dist, c] : state->shortlist) {
+      if (state->responded.count(c.id)) {
+        result.push_back(c);
+        if (static_cast<int>(result.size()) >= dht_->config().k) break;
+      }
+    }
+    state->contacts_done(std::move(result));
+  };
+
+  // FIND_VALUE checks the local store first.
+  if (want_value) {
+    ExpireValues();
+    auto it = store_.find(target);
+    if (it != store_.end()) {
+      // Deliver asynchronously for uniform callback timing.
+      dht_->simulator().Schedule(0, [finish, v = it->second.value]() mutable {
+        finish(std::move(v));
+      });
+      return;
+    }
+  }
+
+  // Shared stepper: issue queries to the alpha closest unqueried.
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, state, finish, step] {
+    if (state->finished) return;
+    int issued = 0;
+    for (const auto& [dist, contact] : state->shortlist) {
+      if (state->inflight + issued >= dht_->config().alpha) break;
+      if (state->queried.count(contact.id)) continue;
+      state->queried.insert(contact.id);
+      ++issued;
+      ++state->inflight;
+      RpcLookup(contact, state->target, state->want_value,
+                [this, state, finish, step, contact](
+                    bool ok, std::optional<std::string> value,
+                    std::vector<Contact> contacts) {
+                  --state->inflight;
+                  if (state->finished) return;
+                  if (ok) {
+                    state->responded.insert(contact.id);
+                    Touch(contact);
+                    if (state->want_value && value.has_value()) {
+                      finish(std::move(value));
+                      return;
+                    }
+                    for (const Contact& c : contacts) {
+                      if (c.id == id_) continue;
+                      Touch(c);
+                      state->shortlist.emplace(Distance(c.id, state->target),
+                                               c);
+                    }
+                  }
+                  (*step)();
+                });
+    }
+    if (issued == 0 && state->inflight == 0) {
+      finish(std::nullopt);
+    }
+  };
+  // Kick off asynchronously so the caller returns first.
+  dht_->simulator().Schedule(0, [step] { (*step)(); });
+}
+
+void Node::FindClosest(Key target, ContactsCallback done) {
+  IterativeLookup(target, /*want_value=*/false, nullptr, std::move(done));
+}
+
+void Node::Get(Key key, GetCallback done) {
+  IterativeLookup(key, /*want_value=*/true, std::move(done), nullptr);
+}
+
+void Node::Store(Key key, std::string value, double ttl_sec,
+                 StoreCallback done) {
+  published_[key] = PublishedValue{key, value, ttl_sec};
+  FindClosest(key, [this, key, value = std::move(value), ttl_sec,
+                    done = std::move(done)](std::vector<Contact> closest) {
+    // Always keep a local replica (the publisher caches its own value).
+    HandleStore(Contact{id_, endpoint_}, key, value, ttl_sec);
+    if (closest.empty()) {
+      done(Status::OK());
+      return;
+    }
+    auto acks = std::make_shared<int>(0);
+    auto pending = std::make_shared<int>(static_cast<int>(closest.size()));
+    for (const Contact& c : closest) {
+      RpcStore(c, key, value, ttl_sec,
+               [acks, pending, done](bool ok) {
+                 if (ok) ++*acks;
+                 if (--*pending == 0) {
+                   done(*acks > 0
+                            ? Status::OK()
+                            : Status::Unavailable(
+                                  "no replica acknowledged the store"));
+                 }
+               });
+    }
+  });
+}
+
+void Node::Bootstrap(const Contact& seed, ContactsCallback done) {
+  Touch(seed);
+  FindClosest(id_, std::move(done));
+}
+
+void Node::StartMaintenance(double interval_sec) {
+  if (maintaining_) return;
+  maintaining_ = true;
+  maintenance_interval_ = interval_sec;
+  dht_->simulator().Schedule(interval_sec, [this] { MaintenanceTick(); });
+}
+
+void Node::StopMaintenance() { maintaining_ = false; }
+
+void Node::MaintenanceTick() {
+  if (!maintaining_) return;
+  if (online_) {
+    // Republish own values so they outlive their TTL while we do, and
+    // land on the *current* closest nodes after churn.
+    for (const auto& [key, published] : published_) {
+      Store(key, published.value, published.ttl_sec, [](Status) {});
+    }
+    // Refresh the routing table with a pseudo-random probe keyed off the
+    // tick counter (deterministic per node).
+    const Key probe =
+        id_ ^ (0x9e3779b97f4a7c15ULL * (++refresh_counter_ + 1));
+    FindClosest(probe, [](std::vector<Contact>) {});
+  }
+  dht_->simulator().Schedule(maintenance_interval_,
+                             [this] { MaintenanceTick(); });
+}
+
+}  // namespace hivesim::dht

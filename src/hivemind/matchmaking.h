@@ -1,0 +1,57 @@
+#ifndef HIVESIM_HIVEMIND_MATCHMAKING_H_
+#define HIVESIM_HIVEMIND_MATCHMAKING_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dht/dht.h"
+
+namespace hivesim::hivemind {
+
+/// Outcome of one matchmaking round.
+struct GroupResult {
+  /// Wall-clock from kickoff to the slowest peer holding the full
+  /// membership view.
+  double assembly_sec = 0;
+  /// Members every surviving peer discovered (offline peers drop out).
+  int discovered = 0;
+  /// True when the window expired before assembly completed.
+  bool timed_out = false;
+};
+
+/// DHT-backed group forming, Hivemind-style (Section 2.1: "The DHT is
+/// used for coordination, and shortly before the TBS is predicted to be
+/// reached, the peers start to form the initial groups for averaging").
+///
+/// Each peer announces itself under the epoch's matchmaking key, then
+/// looks up every other announcement; the group is formed when the
+/// slowest peer has seen everyone (or the window expires). Assembly time
+/// therefore *emerges* from DHT RPC latencies: geo-distributed fleets
+/// take visibly longer to form groups than intra-zone ones.
+class Matchmaker {
+ public:
+  /// `dht` must outlive the matchmaker; peers must have DHT nodes
+  /// registered at their endpoints.
+  Matchmaker(dht::DhtNetwork* dht, std::string run_id);
+
+  Matchmaker(const Matchmaker&) = delete;
+  Matchmaker& operator=(const Matchmaker&) = delete;
+
+  /// Forms the averaging group for `epoch` among `peers`. Offline DHT
+  /// nodes neither announce nor look up; they are simply missing from
+  /// `discovered`. `done` fires once, after assembly or `window_sec`.
+  void FormGroup(const std::vector<net::NodeId>& peers, int epoch,
+                 double window_sec, std::function<void(GroupResult)> done);
+
+  /// The announcement key for (epoch, node) — exposed for tests.
+  dht::Key AnnouncementKey(int epoch, net::NodeId node) const;
+
+ private:
+  dht::DhtNetwork* dht_;
+  std::string run_id_;
+};
+
+}  // namespace hivesim::hivemind
+
+#endif  // HIVESIM_HIVEMIND_MATCHMAKING_H_

@@ -1,0 +1,42 @@
+#include "hivemind/monitor.h"
+
+#include "common/table_writer.h"
+
+namespace hivesim::hivemind {
+
+void TrainingMonitor::Start() {
+  if (running_) return;
+  running_ = true;
+  Tick();
+}
+
+void TrainingMonitor::Stop() { running_ = false; }
+
+std::string TrainingMonitor::ToCsv() const {
+  CsvWriter csv({"time_sec", "epoch", "progress", "active_peers", "sps"});
+  for (const Snapshot& snap : snapshots_) {
+    csv.AddRow(std::vector<double>{snap.time, static_cast<double>(snap.epoch),
+                                   snap.progress,
+                                   static_cast<double>(snap.active_peers),
+                                   snap.throughput_sps});
+  }
+  return csv.ToString();
+}
+
+void TrainingMonitor::Tick() {
+  if (!running_) return;
+  if (!trainer_->running() && !snapshots_.empty()) {
+    running_ = false;
+    return;
+  }
+  Snapshot snap;
+  snap.time = sim_->Now();
+  snap.epoch = trainer_->current_epoch();
+  snap.progress = trainer_->EpochProgress();
+  snap.active_peers = trainer_->ActivePeers();
+  snap.throughput_sps = trainer_->Stats().throughput_sps;
+  snapshots_.push_back(snap);
+  sim_->Schedule(interval_, [this] { Tick(); });
+}
+
+}  // namespace hivesim::hivemind

@@ -1,0 +1,95 @@
+#include "hivemind/progress_board.h"
+
+#include <memory>
+
+#include "common/strings.h"
+
+namespace hivesim::hivemind {
+
+namespace {
+// Entries outlive a few publication intervals, then expire so crashed
+// peers disappear from the board.
+constexpr double kTtlFactor = 4.0;
+}  // namespace
+
+DhtProgressBoard::DhtProgressBoard(dht::DhtNetwork* dht,
+                                   const Trainer* trainer,
+                                   std::string run_id)
+    : dht_(dht), trainer_(trainer), run_id_(std::move(run_id)) {}
+
+dht::Key DhtProgressBoard::KeyFor(net::NodeId node) const {
+  return dht::KeyFromString(StrCat("run/", run_id_, "/peer/", node));
+}
+
+void DhtProgressBoard::Start(double interval_sec) {
+  if (running_) return;
+  running_ = true;
+  interval_ = interval_sec;
+  Tick();
+}
+
+void DhtProgressBoard::Stop() { running_ = false; }
+
+void DhtProgressBoard::Tick() {
+  if (!running_) return;
+  for (net::NodeId node : trainer_->PeerNodes()) {
+    PublishFrom(node);
+  }
+  dht_->simulator().Schedule(interval_, [this] { Tick(); });
+}
+
+void DhtProgressBoard::PublishFrom(net::NodeId node) {
+  dht::Node* publisher = dht_->NodeAt(node);
+  if (publisher == nullptr || !publisher->online()) return;
+  const std::string value = StrFormat(
+      "epoch=%d;progress=%.4f", trainer_->current_epoch(),
+      trainer_->EpochProgress());
+  publisher->Store(KeyFor(node), value, interval_ * kTtlFactor,
+                   [this](Status s) {
+                     if (s.ok()) ++publications_;
+                   });
+}
+
+Result<PeerProgress> ParseProgressValue(const std::string& value) {
+  PeerProgress progress;
+  int epoch = 0;
+  double frac = 0;
+  if (std::sscanf(value.c_str(), "epoch=%d;progress=%lf", &epoch, &frac) !=
+      2) {
+    return Status::Corruption(
+        StrCat("malformed progress entry: '", value, "'"));
+  }
+  progress.epoch = epoch;
+  progress.progress = frac;
+  progress.reachable = true;
+  return progress;
+}
+
+void DhtProgressBoard::Snapshot(
+    dht::Node* reader,
+    std::function<void(std::vector<PeerProgress>)> done) {
+  const std::vector<net::NodeId> nodes = trainer_->PeerNodes();
+  auto results = std::make_shared<std::vector<PeerProgress>>(nodes.size());
+  auto pending = std::make_shared<int>(static_cast<int>(nodes.size()));
+  if (nodes.empty()) {
+    done({});
+    return;
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    (*results)[i].node = nodes[i];
+    reader->Get(KeyFor(nodes[i]),
+                [results, pending, i, done](Result<std::string> value) {
+                  if (value.ok()) {
+                    auto parsed = ParseProgressValue(*value);
+                    if (parsed.ok()) {
+                      const net::NodeId node = (*results)[i].node;
+                      (*results)[i] = *parsed;
+                      (*results)[i].node = node;
+                    }
+                  }
+                  if (--*pending == 0) done(std::move(*results));
+                });
+  }
+}
+
+}  // namespace hivesim::hivemind

@@ -1,0 +1,70 @@
+#ifndef HIVESIM_HIVEMIND_PROGRESS_BOARD_H_
+#define HIVESIM_HIVEMIND_PROGRESS_BOARD_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dht/dht.h"
+#include "hivemind/trainer.h"
+
+namespace hivesim::hivemind {
+
+/// One peer's published training state.
+struct PeerProgress {
+  net::NodeId node = 0;
+  int epoch = 0;
+  double progress = 0;  ///< Current epoch accumulation in [0, 1].
+  bool reachable = false;  ///< False when the DHT lookup found nothing.
+};
+
+/// The DHT progress board: every peer periodically publishes its training
+/// state under "run/<id>/peer/<endpoint>" with a short TTL, and anyone —
+/// including an external monitor that is not training — can scrape the
+/// swarm's state from the DHT alone. This is the literal mechanism behind
+/// the paper's "training monitor that scrapes the DHT every second to log
+/// the peer state and training progress" (Section 3).
+class DhtProgressBoard {
+ public:
+  /// `dht` and `trainer` must outlive the board. Peers publish from their
+  /// own DHT nodes (one must be registered at each peer endpoint).
+  DhtProgressBoard(dht::DhtNetwork* dht, const Trainer* trainer,
+                   std::string run_id);
+
+  DhtProgressBoard(const DhtProgressBoard&) = delete;
+  DhtProgressBoard& operator=(const DhtProgressBoard&) = delete;
+
+  /// Starts periodic publication from every peer.
+  void Start(double interval_sec = 5.0);
+  void Stop();
+
+  /// Scrapes the board from `reader`'s point of view: one DHT lookup per
+  /// known peer; `done` receives the merged view. Peers whose entries
+  /// expired (crashed VMs) come back `reachable = false`.
+  void Snapshot(dht::Node* reader,
+                std::function<void(std::vector<PeerProgress>)> done);
+
+  /// The DHT key a peer publishes under (exposed for tests).
+  dht::Key KeyFor(net::NodeId node) const;
+
+  int publications() const { return publications_; }
+
+ private:
+  void Tick();
+  void PublishFrom(net::NodeId node);
+
+  dht::DhtNetwork* dht_;
+  const Trainer* trainer_;
+  std::string run_id_;
+  double interval_ = 5.0;
+  bool running_ = false;
+  int publications_ = 0;
+};
+
+/// Parses a published value ("epoch=3;progress=0.42") back into numbers;
+/// Corruption on malformed input.
+Result<PeerProgress> ParseProgressValue(const std::string& value);
+
+}  // namespace hivesim::hivemind
+
+#endif  // HIVESIM_HIVEMIND_PROGRESS_BOARD_H_

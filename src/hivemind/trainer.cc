@@ -1,0 +1,422 @@
+#include "hivemind/trainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace hivesim::hivemind {
+
+namespace {
+constexpr double kEpsilon = 1e-9;
+}  // namespace
+
+Status ValidateTrainerConfig(const TrainerConfig& config) {
+  if (config.target_batch_size < 1) {
+    return Status::InvalidArgument("target batch size must be >= 1");
+  }
+  if (config.streams_per_transfer < 1) {
+    return Status::InvalidArgument("streams per transfer must be >= 1");
+  }
+  if (config.matchmaking_jitter_frac < 0 ||
+      config.matchmaking_jitter_frac > 2.0) {
+    return Status::InvalidArgument(
+        "matchmaking jitter fraction out of [0, 2]");
+  }
+  return Status::OK();
+}
+
+Trainer::Trainer(net::Network* network, TrainerConfig config)
+    : network_(network),
+      config_(config),
+      rng_(config.seed),
+      allreduce_(network) {}
+
+Status Trainer::AddPeer(const PeerSpec& peer) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "use JoinPeer to add peers to a running training");
+  }
+  HIVESIM_RETURN_IF_ERROR(models::CheckFits(
+      config_.model, models::TrainerKind::kHivemind, peer.gpu, peer.host));
+  PeerState state;
+  state.spec = peer;
+  double sps = 0;
+  HIVESIM_ASSIGN_OR_RETURN(sps,
+                           models::BaselineSps(config_.model, peer.gpu));
+  state.local_sps = sps * std::max(1, peer.gpu_count) *
+                    models::HivemindLocalPenalty(config_.model);
+  peers_.push_back(std::move(state));
+  return Status::OK();
+}
+
+Status Trainer::Start() {
+  if (running_) return Status::FailedPrecondition("already running");
+  HIVESIM_RETURN_IF_ERROR(ValidateTrainerConfig(config_));
+  if (peers_.empty()) {
+    return Status::FailedPrecondition("no peers registered");
+  }
+  // Dataset partition: each peer streams its own shard subset.
+  const data::DatasetProfile& dataset = data::DatasetFor(config_.model);
+  for (PeerState& p : peers_) {
+    p.ingress = std::make_unique<data::StreamingIngressMeter>(
+        dataset.total_samples / peers_.size(), dataset.sample_bytes);
+  }
+  running_ = true;
+  run_start_ = network_->simulator().Now();
+  last_epoch_end_ = run_start_;
+  StartEpoch();
+  return Status::OK();
+}
+
+void Trainer::Stop() {
+  if (!running_) return;
+  running_ = false;
+  ++generation_;
+  if (has_averaging_event_) {
+    network_->simulator().Cancel(averaging_event_);
+    has_averaging_event_ = false;
+  }
+  if (allreduce_.running()) allreduce_.Abort();
+}
+
+Result<RunStats> Trainer::RunFor(double seconds) {
+  HIVESIM_RETURN_IF_ERROR(Start());
+  sim::Simulator& sim = network_->simulator();
+  sim.RunUntil(sim.Now() + seconds);
+  Stop();
+  return Stats();
+}
+
+double Trainer::FleetRate() const {
+  double rate = 0;
+  for (const PeerState& p : peers_) {
+    if (p.sync_epochs_left == 0) rate += p.local_sps;
+  }
+  return rate;
+}
+
+int Trainer::ActivePeers() const {
+  int n = 0;
+  for (const PeerState& p : peers_) {
+    if (p.sync_epochs_left == 0) ++n;
+  }
+  return n;
+}
+
+void Trainer::SyncAccumulation() {
+  const double now = network_->simulator().Now();
+  if (!averaging_ && now > accum_synced_at_) {
+    accum_samples_ += FleetRate() * (now - accum_synced_at_);
+  }
+  accum_synced_at_ = now;
+}
+
+double Trainer::AccumulatedSamples() const {
+  const double now = network_->simulator().Now();
+  double accum = accum_samples_;
+  if (!averaging_ && now > accum_synced_at_) {
+    accum += FleetRate() * (now - accum_synced_at_);
+  }
+  return accum;
+}
+
+double Trainer::EpochProgress() const {
+  return std::min(1.0, AccumulatedSamples() / config_.target_batch_size);
+}
+
+double Trainer::GradientBytes() const {
+  return models::GetModelSpec(config_.model)
+      .GradientBytes(config_.compression);
+}
+
+double Trainer::MaxApplySec() const {
+  const double params = models::GetModelSpec(config_.model).params;
+  double apply = 0;
+  for (const PeerState& p : peers_) {
+    apply = std::max(apply, models::ApplySec(params, p.spec.host));
+  }
+  return apply;
+}
+
+void Trainer::StartEpoch() {
+  if (!running_) return;
+  epoch_start_ = network_->simulator().Now();
+  accum_samples_ = 0;
+  accum_synced_at_ = epoch_start_;
+  averaging_ = false;
+  ScheduleAveraging();
+}
+
+void Trainer::ScheduleAveraging() {
+  if (!running_ || averaging_) return;
+  if (has_averaging_event_) {
+    network_->simulator().Cancel(averaging_event_);
+    has_averaging_event_ = false;
+  }
+  const double rate = FleetRate();
+  if (rate <= kEpsilon) {
+    // All peers gone or still synchronizing; training stalls until churn
+    // brings capacity back. If only syncing peers remain, promote them —
+    // there is nobody left to sync from.
+    if (ActivePeers() == 0 && !peers_.empty()) {
+      for (PeerState& p : peers_) p.sync_epochs_left = 0;
+      ScheduleAveraging();
+    }
+    return;
+  }
+
+  SyncAccumulation();
+  const double now = network_->simulator().Now();
+  const double remaining =
+      std::max(0.0, config_.target_batch_size - accum_samples_);
+  const double t_star = now + remaining / rate;
+  tbs_reached_at_ = t_star;
+  const double floor_time = epoch_start_ + models::MinMatchmakingSec();
+  double start = t_star;
+  if (t_star < floor_time) {
+    // Accumulation beat the matchmaking thread: the round start becomes
+    // unstable (Section 3, observation 2).
+    start = floor_time +
+            rng_.Uniform(0, config_.matchmaking_jitter_frac *
+                                models::MinMatchmakingSec());
+  }
+
+  const uint64_t gen = generation_;
+  averaging_event_ = network_->simulator().ScheduleAt(start, [this, gen] {
+    if (gen != generation_) return;
+    has_averaging_event_ = false;
+    BeginAveraging();
+  });
+  has_averaging_event_ = true;
+}
+
+void Trainer::BeginAveraging() {
+  if (!running_ || averaging_) return;
+  SyncAccumulation();
+  averaging_ = true;
+  averaging_started_ = network_->simulator().Now();
+
+  int participants = 0;
+  for (const PeerState& p : peers_) {
+    (void)p;
+    ++participants;  // Syncing peers join rounds to receive state.
+  }
+
+  const uint64_t gen = generation_;
+  if (participants < 2) {
+    // Nothing to average against; only the (overlappable) apply remains.
+    const double apply =
+        config_.delayed_parameter_updates ? 0.0 : MaxApplySec();
+    network_->simulator().Schedule(apply, [this, gen] {
+      if (gen != generation_) return;
+      FinishEpoch(network_->simulator().Now() - averaging_started_);
+    });
+    return;
+  }
+
+  const double overhead =
+      models::AveragingFixedOverheadSec() +
+      models::AveragingPerPeerOverheadSec() * participants;
+
+  // Two prerequisites before the transfers start: the group-forming
+  // overhead timer and (optionally) the DHT coordination round.
+  auto pending = std::make_shared<int>(1);
+  auto arm = [this, gen, pending] {
+    if (gen != generation_) return;
+    if (--*pending == 0) RunAllReduce();
+  };
+
+  if (config_.dht != nullptr && peers_.size() >= 2) {
+    // Real matchmaking: the round begins once the group has assembled
+    // through the DHT (bounded by the matchmaking window).
+    if (!matchmaker_) {
+      matchmaker_ = std::make_unique<Matchmaker>(
+          config_.dht, StrFormat("run-%llu",
+                                 static_cast<unsigned long long>(
+                                     config_.seed)));
+    }
+    ++*pending;
+    matchmaker_->FormGroup(PeerNodes(),
+                           static_cast<int>(completed_.size()),
+                           models::MinMatchmakingSec(),
+                           [arm](GroupResult) { arm(); });
+  }
+  network_->simulator().Schedule(overhead, arm);
+}
+
+void Trainer::RunAllReduce() {
+  if (!running_) return;
+  if (peers_.size() < 2) {
+    const double apply =
+        config_.delayed_parameter_updates ? 0.0 : MaxApplySec();
+    const uint64_t gen = generation_;
+    network_->simulator().Schedule(apply, [this, gen] {
+      if (gen != generation_) return;
+      FinishEpoch(network_->simulator().Now() - averaging_started_);
+    });
+    return;
+  }
+
+  std::vector<collective::Peer> members;
+  members.reserve(peers_.size());
+  for (const PeerState& p : peers_) {
+    members.push_back({p.spec.node, p.spec.host});
+  }
+  collective::AllReduceOptions opts;
+  opts.payload_bytes = GradientBytes();
+  opts.strategy = config_.strategy;
+  opts.streams_per_transfer = config_.streams_per_transfer;
+
+  const uint64_t gen = generation_;
+  Status started = allreduce_.Start(
+      members, opts, [this, gen](Result<collective::AllReduceResult> r) {
+        if (gen != generation_) return;
+        if (!r.ok()) {
+          // Peer churn aborted the round: MoshpitSGD restarts group
+          // averaging with the surviving peers.
+          network_->simulator().Schedule(0, [this, gen] {
+            if (gen == generation_ && running_ && averaging_) {
+              RunAllReduce();
+            }
+          });
+          return;
+        }
+        const double apply =
+            config_.delayed_parameter_updates ? 0.0 : MaxApplySec();
+        network_->simulator().Schedule(apply, [this, gen] {
+          if (gen != generation_) return;
+          FinishEpoch(network_->simulator().Now() - averaging_started_);
+        });
+      });
+  if (!started.ok()) {
+    HIVESIM_LOG(Error) << "all-reduce failed to start: "
+                       << started.ToString();
+  }
+}
+
+void Trainer::FinishEpoch(double comm_wall_sec) {
+  if (!running_) return;
+  const double now = network_->simulator().Now();
+
+  EpochStats stats;
+  // Calculation ends when the TBS is reached; any extra wait for the
+  // matchmaking floor counts toward communication. The reported
+  // communication span also includes the CPU-side optimizer apply even
+  // when delayed parameter updates hide it from the critical path — the
+  // paper's monitor measures the full averaging round the same way
+  // (Fig. 4's stacked bars), while the throughput keeps the overlap.
+  const double calc_end = std::min(tbs_reached_at_, averaging_started_);
+  stats.calc_sec = calc_end - epoch_start_;
+  stats.comm_sec = now - calc_end;
+  if (config_.delayed_parameter_updates) stats.comm_sec += MaxApplySec();
+  stats.samples = std::min<double>(accum_samples_, config_.target_batch_size);
+  stats.peers = static_cast<int>(peers_.size());
+  completed_.push_back(stats);
+  last_epoch_end_ = now;
+
+  // Dataset ingress: each active peer streamed its share of this epoch.
+  const double rate = FleetRate();
+  for (PeerState& p : peers_) {
+    if (p.sync_epochs_left > 0) {
+      --p.sync_epochs_left;
+    } else if (rate > kEpsilon && p.ingress) {
+      p.ingress->OnSamplesConsumed(stats.samples * p.local_sps / rate);
+    }
+  }
+
+  averaging_ = false;
+  StartEpoch();
+}
+
+Status Trainer::RemovePeer(net::NodeId node) {
+  auto it = std::find_if(peers_.begin(), peers_.end(),
+                         [node](const PeerState& p) {
+                           return p.spec.node == node;
+                         });
+  if (it == peers_.end()) {
+    return Status::NotFound("no such peer in the training");
+  }
+  if (!running_) {
+    peers_.erase(it);
+    return Status::OK();
+  }
+
+  SyncAccumulation();
+  // The dead peer's un-averaged contribution is lost with it.
+  const double rate = FleetRate();
+  if (rate > kEpsilon && it->sync_epochs_left == 0) {
+    accum_samples_ *= std::max(0.0, 1.0 - it->local_sps / rate);
+  }
+  peers_.erase(it);
+
+  if (averaging_ && allreduce_.running()) {
+    allreduce_.Abort();  // Its callback restarts the round without him.
+  } else if (!averaging_) {
+    ScheduleAveraging();
+  }
+  return Status::OK();
+}
+
+Status Trainer::JoinPeer(const PeerSpec& peer) {
+  if (!running_) return AddPeer(peer);
+  HIVESIM_RETURN_IF_ERROR(models::CheckFits(
+      config_.model, models::TrainerKind::kHivemind, peer.gpu, peer.host));
+  SyncAccumulation();
+  PeerState state;
+  state.spec = peer;
+  double sps = 0;
+  HIVESIM_ASSIGN_OR_RETURN(sps,
+                           models::BaselineSps(config_.model, peer.gpu));
+  state.local_sps = sps * std::max(1, peer.gpu_count) *
+                    models::HivemindLocalPenalty(config_.model);
+  state.sync_epochs_left = 2;  // Worst case observed by the paper (Sec. 7).
+  const data::DatasetProfile& dataset = data::DatasetFor(config_.model);
+  state.ingress = std::make_unique<data::StreamingIngressMeter>(
+      dataset.total_samples / (peers_.size() + 1), dataset.sample_bytes);
+  peers_.push_back(std::move(state));
+  if (!averaging_) ScheduleAveraging();
+  return Status::OK();
+}
+
+RunStats Trainer::Stats() const {
+  RunStats stats;
+  stats.epochs = static_cast<int>(completed_.size());
+  stats.epoch_stats = completed_;
+  stats.duration_sec = last_epoch_end_ - run_start_;
+  stats.local_throughput_sps = FleetRate();
+  for (const EpochStats& e : completed_) {
+    stats.total_samples += e.samples;
+    stats.avg_calc_sec += e.calc_sec;
+    stats.avg_comm_sec += e.comm_sec;
+  }
+  if (stats.epochs > 0) {
+    stats.avg_calc_sec /= stats.epochs;
+    stats.avg_comm_sec /= stats.epochs;
+  }
+  if (stats.duration_sec > kEpsilon) {
+    stats.throughput_sps = stats.total_samples / stats.duration_sec;
+  }
+  if (stats.avg_comm_sec > kEpsilon) {
+    stats.granularity = stats.avg_calc_sec / stats.avg_comm_sec;
+  }
+  return stats;
+}
+
+std::vector<net::NodeId> Trainer::PeerNodes() const {
+  std::vector<net::NodeId> nodes;
+  nodes.reserve(peers_.size());
+  for (const PeerState& p : peers_) nodes.push_back(p.spec.node);
+  return nodes;
+}
+
+Result<double> Trainer::DataIngressBytes(net::NodeId node) const {
+  for (const PeerState& p : peers_) {
+    if (p.spec.node == node) {
+      return p.ingress ? p.ingress->StreamedBytes() : 0.0;
+    }
+  }
+  return Status::NotFound("no such peer");
+}
+
+}  // namespace hivesim::hivemind

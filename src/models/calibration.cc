@@ -1,0 +1,122 @@
+#include "models/calibration.h"
+
+#include <array>
+
+#include "common/strings.h"
+#include "common/units.h"
+
+namespace hivesim::models {
+
+namespace {
+
+using compute::GpuModel;
+using compute::HostClass;
+
+// Rows follow ModelId order; columns follow GpuModel order
+// (T4, A10, V100, RTX8000, A100-80GB).
+//
+// Anchors (marked *) come straight from the paper:
+//   CONV:  80* (Fig. 1, 1xT4)   185* (Fig. 1, 1xA10)
+//          51.6* (DGX-2 413 SPS / 8 V100s, Table 6)  194.8* (Table 6)
+//   RXLM:  209* (575.1 SPS at 8xT4 / 2.75x speedup, Section 4)
+//          463* (1059.9 at 8xA10 / 2.29x, Fig. 5)
+//          226* (DGX-2 1811 / 8)  431.8* (Table 6)
+//   WhSmall: 12.7* (28 SPS at 8xT4 / 2.2x, Section 11)  46* (A100)
+// The V100 column intentionally encodes the *effective per-GPU DDP rate
+// inside the DGX-2* (the paper's own numbers put the DGX below 8
+// standalone T4s for ConvNextLarge), because that is the only context in
+// which the simulator schedules V100s. All other cells scale an anchored
+// column by the GPU's achieved speed ratio (A10 ~2.31x T4 on CV, ~2.2x on
+// NLP; RTX8000 ~2.4x; A100 ~3.6-4.5x).
+constexpr double kBaselineSps[kNumModels][5] = {
+    // T4     A10     V100    RTX8000  A100
+    {560.0, 1300.0, 896.0, 1344.0, 2520.0},   // RN18
+    {280.0, 640.0, 448.0, 672.0, 1260.0},     // RN50
+    {173.0, 400.0, 277.0, 415.0, 779.0},      // RN152
+    {195.0, 450.0, 312.0, 468.0, 878.0},      // WRN101
+    {80.0, 185.0, 51.6, 194.8, 360.0},        // CONV
+    {680.0, 1500.0, 1088.0, 1632.0, 3060.0},  // RBase
+    {317.0, 700.0, 507.0, 760.0, 1427.0},     // RLrg
+    {209.0, 463.0, 226.4, 431.8, 940.0},      // RXLM
+    {60.0, 150.0, 96.0, 144.0, 210.0},        // WhTiny
+    {30.0, 75.0, 48.0, 72.0, 105.0},          // WhBase
+    {12.7, 31.0, 20.0, 30.5, 46.0},           // WhSmall
+};
+
+// Fig. 2: running under Hivemind costs 22% (RN152, best case) to 52%
+// (CONV, worst case) of local throughput even before any communication,
+// due to its gradient-accumulation implementation. The penalty grows
+// with the per-step accumulated gradient size.
+constexpr double kLocalPenalty[kNumModels] = {
+    0.75,  // RN18
+    0.76,  // RN50
+    0.78,  // RN152 (best case in Fig. 2)
+    0.62,  // WRN101
+    0.48,  // CONV (worst case in Fig. 2)
+    0.70,  // RBase
+    0.62,  // RLrg
+    0.55,  // RXLM
+    // Whisper's encoder-decoder pays a CONV-like accumulation penalty
+    // (fitted so 8xT4 at TBS 1024 lands near the paper's 28 SPS / 2.2x).
+    0.50,  // WhTiny
+    0.48,  // WhBase
+    0.45,  // WhSmall
+};
+
+// Fitted against the averaging rounds the paper reports: RoBERTa-XLM
+// takes ~8.4 s/round on 2xA10 and ~14.4 s on 8xA10 (Section 3, obs. 3);
+// ConvNextLarge ~20 s rounds on 8 GC T4s (Section 4(A) granularity 5.19).
+constexpr double kFixedOverheadSec = 1.5;
+constexpr double kPerPeerOverheadSec = 0.3;
+constexpr double kMinMatchmakingSec = 5.0;
+
+// Fractions of HostSpec::cpu_ns_per_param.
+constexpr double kSerializeFrac = 0.25;
+constexpr double kAccumulateFrac = 0.35;
+constexpr double kApplyFrac = 1.0;
+
+// Observed 1.1 Gb/s per-peer cap while averaging on the GC n1-standard-8
+// hosts (17 ns/param); scales inversely with host CPU cost.
+constexpr double kReferenceStreamCapBps = 1.1e9 / 8.0;
+constexpr double kReferenceCpuNsPerParam = 17.0;
+
+}  // namespace
+
+Result<double> BaselineSps(ModelId model, GpuModel gpu) {
+  const auto m = static_cast<size_t>(model);
+  const auto g = static_cast<size_t>(gpu);
+  if (m >= kNumModels || g >= 5) {
+    return Status::InvalidArgument("model/gpu out of range");
+  }
+  return kBaselineSps[m][g];
+}
+
+double HivemindLocalPenalty(ModelId model) {
+  return kLocalPenalty[static_cast<size_t>(model)];
+}
+
+double AveragingFixedOverheadSec() { return kFixedOverheadSec; }
+double AveragingPerPeerOverheadSec() { return kPerPeerOverheadSec; }
+double MinMatchmakingSec() { return kMinMatchmakingSec; }
+
+double GradientStreamCapBps(HostClass host) {
+  const double ns = compute::GetHostSpec(host).cpu_ns_per_param;
+  return kReferenceStreamCapBps * (kReferenceCpuNsPerParam / ns);
+}
+
+double SerializeSec(double params, HostClass host) {
+  return params * compute::GetHostSpec(host).cpu_ns_per_param *
+         kSerializeFrac * 1e-9;
+}
+
+double AccumulateSec(double params, HostClass host) {
+  return params * compute::GetHostSpec(host).cpu_ns_per_param *
+         kAccumulateFrac * 1e-9;
+}
+
+double ApplySec(double params, HostClass host) {
+  return params * compute::GetHostSpec(host).cpu_ns_per_param * kApplyFrac *
+         1e-9;
+}
+
+}  // namespace hivesim::models

@@ -1,0 +1,64 @@
+#ifndef HIVESIM_MODELS_CALIBRATION_H_
+#define HIVESIM_MODELS_CALIBRATION_H_
+
+#include "common/result.h"
+#include "compute/gpu.h"
+#include "compute/host.h"
+#include "models/model_zoo.h"
+
+namespace hivesim::models {
+
+/// Baseline single-GPU training throughput in samples/sec for `model` on
+/// `gpu`, i.e. the paper's "baseline" setup: one GPU reaching the target
+/// batch size through native PyTorch gradient accumulation.
+///
+/// Values anchored to the paper (ConvNextLarge: 80 SPS on a T4, 185 on an
+/// A10, 194.8 on the RTX8000; RoBERTa-XLM: ~209/463/431.8; WhisperSmall:
+/// 12.7 on a T4, 46 on an A100; the V100 column encodes the DGX-2
+/// *effective per-GPU* rates 413/8 and 1811/8 for the DDP baseline).
+/// Unanchored cells are scaled from the anchored columns by the GPU's
+/// achieved speed ratio.
+Result<double> BaselineSps(ModelId model, compute::GpuModel gpu);
+
+/// Hivemind's *local* throughput as a fraction of the baseline — the
+/// "Hivemind penalty" of Fig. 2, caused by its slower gradient
+/// accumulation path (GitHub issue #566 per the paper). Larger models pay
+/// more: ResNet152 retains 78% of baseline speed, ConvNextLarge only 48%.
+double HivemindLocalPenalty(ModelId model);
+
+/// Fixed wall-clock overhead of every averaging round (group forming,
+/// DHT coordination) in seconds, excluding the 5 s matchmaking floor
+/// handled by the training loop.
+double AveragingFixedOverheadSec();
+
+/// Additional per-participating-peer overhead per round, seconds.
+double AveragingPerPeerOverheadSec();
+
+/// Minimum matchmaking time (seconds): Hivemind's asynchronous group-
+/// forming thread needs at least this long; epochs that accumulate the
+/// TBS faster become unstable (Section 3, observation 2).
+double MinMatchmakingSec();
+
+/// Application-level throughput cap of one Hivemind gradient stream in
+/// bytes/sec. Serialization is CPU-bound: the paper observed at most
+/// 1.1 Gb/s per peer while averaging on a 7 Gb/s intra-zone network
+/// (Section 4(A)); faster hosts sustain proportionally more.
+double GradientStreamCapBps(compute::HostClass host);
+
+/// CPU seconds to serialize one gradient of `params` parameters on `host`
+/// before sending (0.25x the host's per-param cost).
+double SerializeSec(double params, compute::HostClass host);
+
+/// CPU seconds to deserialize-and-accumulate one *incoming* gradient
+/// (0.35x the host's per-param cost). Aggregation of k incoming gradients
+/// costs k times this, overlapped with the transfer.
+double AccumulateSec(double params, compute::HostClass host);
+
+/// CPU seconds for the optimizer to apply the averaged gradient to the
+/// model (1.0x the host's per-param cost); overlapped with the next
+/// round's compute when delayed parameter updates are enabled.
+double ApplySec(double params, compute::HostClass host);
+
+}  // namespace hivesim::models
+
+#endif  // HIVESIM_MODELS_CALIBRATION_H_

@@ -1,0 +1,99 @@
+#include "models/memory.h"
+
+#include "common/strings.h"
+#include "common/units.h"
+
+namespace hivesim::models {
+
+namespace {
+
+// Bytes per parameter held on the GPU:
+//   FP16 weights (2) + FP16 gradients (2)                        =  4
+//   + FP32 master weights (4) + LAMB moments (8)                 = 16
+//   DDP additionally keeps an FP32 replica for the all-reduce plus
+//   gradient bucket buffers (+8)                                 = 24
+constexpr double kHivemindGpuBytesPerParam = 4.0;
+constexpr double kBaselineGpuBytesPerParam = 16.0;
+constexpr double kDdpGpuBytesPerParam = 24.0;
+
+// CUDA context + framework overhead resident on every device.
+constexpr double kCudaContextBytes = 1.07 * kGB;
+
+// Hivemind keeps FP32 master weights and LAMB moments in host RAM for the
+// CPU-side apply step; plus OS / runtime / dataloader working set.
+constexpr double kHivemindHostBytesPerParam = 16.0;
+constexpr double kHostBaseBytes = 8 * kGB;
+
+// Fraction of nominal device memory actually allocatable.
+constexpr double kUsableGpuFraction = 0.85;
+
+}  // namespace
+
+int DefaultMicrobatch(ModelId model) {
+  switch (GetModelSpec(model).domain) {
+    case Domain::kCV:
+      return 32;
+    case Domain::kNLP:
+      return 16;
+    case Domain::kASR:
+      return 8;
+  }
+  return 16;
+}
+
+MemoryEstimate EstimateMemory(ModelId model, TrainerKind kind,
+                              int microbatch) {
+  const ModelSpec& spec = GetModelSpec(model);
+  MemoryEstimate est;
+  double per_param = 0;
+  switch (kind) {
+    case TrainerKind::kLocalBaseline:
+      per_param = kBaselineGpuBytesPerParam;
+      est.host_bytes = kHostBaseBytes;
+      break;
+    case TrainerKind::kHivemind:
+      per_param = kHivemindGpuBytesPerParam;
+      est.host_bytes =
+          kHostBaseBytes + spec.params * kHivemindHostBytesPerParam;
+      break;
+    case TrainerKind::kDdp:
+      per_param = kDdpGpuBytesPerParam;
+      est.host_bytes = kHostBaseBytes;
+      break;
+  }
+  est.gpu_bytes = spec.params * per_param + kCudaContextBytes +
+                  microbatch * spec.activation_bytes_per_sample;
+  return est;
+}
+
+Status CheckFits(ModelId model, TrainerKind kind, compute::GpuModel gpu,
+                 compute::HostClass host, int microbatch) {
+  const MemoryEstimate est = EstimateMemory(model, kind, microbatch);
+  const double gpu_cap =
+      compute::GetGpuSpec(gpu).memory_bytes * kUsableGpuFraction;
+  if (est.gpu_bytes > gpu_cap) {
+    return Status::OutOfMemory(StrFormat(
+        "%s needs %s on the GPU but %s offers %s usable",
+        std::string(ModelName(model)).c_str(),
+        FormatBytes(est.gpu_bytes).c_str(),
+        std::string(compute::GpuName(gpu)).c_str(),
+        FormatBytes(gpu_cap).c_str()));
+  }
+  const double host_cap = compute::GetHostSpec(host).ram_bytes;
+  if (est.host_bytes > host_cap) {
+    return Status::OutOfMemory(StrFormat(
+        "%s needs %s host RAM for CPU gradient application but %s has %s",
+        std::string(ModelName(model)).c_str(),
+        FormatBytes(est.host_bytes).c_str(),
+        std::string(compute::HostName(host)).c_str(),
+        FormatBytes(host_cap).c_str()));
+  }
+  return Status::OK();
+}
+
+Status CheckFits(ModelId model, TrainerKind kind, compute::GpuModel gpu,
+                 compute::HostClass host) {
+  return CheckFits(model, kind, gpu, host, DefaultMicrobatch(model));
+}
+
+}  // namespace hivesim::models

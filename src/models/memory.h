@@ -1,0 +1,53 @@
+#ifndef HIVESIM_MODELS_MEMORY_H_
+#define HIVESIM_MODELS_MEMORY_H_
+
+#include "common/status.h"
+#include "compute/gpu.h"
+#include "compute/host.h"
+#include "models/model_zoo.h"
+
+namespace hivesim::models {
+
+/// Which training stack holds the model; memory footprints differ.
+enum class TrainerKind {
+  /// Single-GPU PyTorch with native gradient accumulation: FP16 weights +
+  /// gradients plus FP32 master weights and optimizer moments on the GPU.
+  kLocalBaseline,
+  /// Hivemind peer: FP16 weights + accumulated gradients on the GPU; the
+  /// optimizer state and apply step live on the host CPU (which is why
+  /// the paper needed 30 GB VMs for RoBERTa-XLM).
+  kHivemind,
+  /// PyTorch DDP replica: everything the baseline holds plus gradient
+  /// bucket buffers — the heaviest footprint. Reproduces the paper's
+  /// "NLP experiments ran OOM" on the 4xT4 node (Section 7).
+  kDdp,
+};
+
+/// Estimated footprints for one training process.
+struct MemoryEstimate {
+  double gpu_bytes = 0;   ///< Device memory required.
+  double host_bytes = 0;  ///< Host RAM required.
+};
+
+/// Per-GPU microbatch the trainers use by default (CV 32, NLP 16, ASR 8);
+/// the target batch size is reached by accumulating microbatches.
+int DefaultMicrobatch(ModelId model);
+
+/// Estimates device and host memory for training `model` with the given
+/// stack and per-step microbatch.
+MemoryEstimate EstimateMemory(ModelId model, TrainerKind kind,
+                              int microbatch);
+
+/// Verifies the workload fits the hardware; returns OutOfMemory with a
+/// breakdown otherwise. Only ~85% of nominal device memory is usable
+/// (ECC, CUDA context fragmentation).
+Status CheckFits(ModelId model, TrainerKind kind, compute::GpuModel gpu,
+                 compute::HostClass host, int microbatch);
+
+/// Convenience overload using DefaultMicrobatch().
+Status CheckFits(ModelId model, TrainerKind kind, compute::GpuModel gpu,
+                 compute::HostClass host);
+
+}  // namespace hivesim::models
+
+#endif  // HIVESIM_MODELS_MEMORY_H_

@@ -1,0 +1,35 @@
+#include "net/location.h"
+
+namespace hivesim::net {
+
+std::string_view ProviderName(Provider p) {
+  switch (p) {
+    case Provider::kGoogleCloud:
+      return "GC";
+    case Provider::kAws:
+      return "AWS";
+    case Provider::kAzure:
+      return "Azure";
+    case Provider::kLambdaLabs:
+      return "LambdaLabs";
+    case Provider::kOnPremise:
+      return "OnPrem";
+  }
+  return "?";
+}
+
+std::string_view ContinentName(Continent c) {
+  switch (c) {
+    case Continent::kUs:
+      return "US";
+    case Continent::kEu:
+      return "EU";
+    case Continent::kAsia:
+      return "ASIA";
+    case Continent::kAus:
+      return "AUS";
+  }
+  return "?";
+}
+
+}  // namespace hivesim::net

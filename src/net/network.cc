@@ -1,0 +1,361 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace hivesim::net {
+
+namespace {
+// Flows are megabytes; anything below one byte is floating-point residue.
+constexpr double kEpsilonBytes = 1.0;
+constexpr double kEpsilonRate = 1e-9;
+
+uint64_t NodePairKey(NodeId src, NodeId dst) {
+  return (static_cast<uint64_t>(src) << 32) | dst;
+}
+}  // namespace
+
+Network::Network(sim::Simulator* sim, const Topology* topology)
+    : sim_(sim), topology_(topology) {
+  node_egress_bytes_.resize(topology_->num_nodes(), 0.0);
+  node_ingress_bytes_.resize(topology_->num_nodes(), 0.0);
+  node_peak_egress_.resize(topology_->num_nodes(), 0.0);
+}
+
+Result<FlowId> Network::StartFlow(NodeId src, NodeId dst, double bytes,
+                                  FlowCallback on_complete,
+                                  FlowOptions options) {
+  if (src >= topology_->num_nodes() || dst >= topology_->num_nodes()) {
+    return Status::InvalidArgument("flow endpoints out of range");
+  }
+  if (bytes < 0) {
+    return Status::InvalidArgument("negative flow size");
+  }
+  Path path;
+  HIVESIM_ASSIGN_OR_RETURN(path, topology_->PathBetweenNodes(src, dst));
+
+  // Grow meters lazily if nodes were added after construction.
+  if (node_egress_bytes_.size() < topology_->num_nodes()) {
+    node_egress_bytes_.resize(topology_->num_nodes(), 0.0);
+    node_ingress_bytes_.resize(topology_->num_nodes(), 0.0);
+    node_peak_egress_.resize(topology_->num_nodes(), 0.0);
+  }
+
+  const FlowId id = next_flow_id_++;
+  if (bytes <= kEpsilonBytes) {
+    // Latency-only delivery.
+    sim_->Schedule(path.rtt_sec / 2.0,
+                   [cb = std::move(on_complete)] { if (cb) cb(); });
+    return id;
+  }
+
+  Progress();
+
+  Flow flow;
+  flow.id = id;
+  flow.src = src;
+  flow.dst = dst;
+  flow.remaining_bytes = bytes;
+  flow.on_complete = std::move(on_complete);
+
+  // Per-flow ceiling: `streams` TCP streams, each limited by the sender's
+  // window over the path RTT and any per-stream pacing on the path; the
+  // aggregate never exceeds the physical path or the application cap.
+  const int streams = std::max(1, options.streams);
+  double per_stream = std::numeric_limits<double>::infinity();
+  if (path.rtt_sec > 0) {
+    per_stream = topology_->ConfigOf(src).tcp_window_bytes / path.rtt_sec;
+  }
+  if (path.single_stream_bps > 0) {
+    per_stream = std::min(per_stream, path.single_stream_bps);
+  }
+  double cap = std::min(path.bandwidth_bps, streams * per_stream);
+  cap = std::min(cap, options.app_rate_cap_bps);
+  flow.stream_cap_bps = cap;
+
+  flows_.emplace(id, std::move(flow));
+  Recompute();
+  return id;
+}
+
+bool Network::CancelFlow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  Progress();
+  if (it->second.has_completion_event) {
+    sim_->Cancel(it->second.completion_event);
+  }
+  flows_.erase(it);
+  Recompute();
+  return true;
+}
+
+Result<double> Network::MessageDelay(NodeId src, NodeId dst,
+                                     double bytes) const {
+  Path path;
+  HIVESIM_ASSIGN_OR_RETURN(path, topology_->PathBetweenNodes(src, dst));
+  double cap = 0;
+  HIVESIM_ASSIGN_OR_RETURN(cap, topology_->SingleStreamCap(src, dst));
+  const double serialize = cap > 0 ? bytes / cap : 0.0;
+  return path.rtt_sec / 2.0 + serialize;
+}
+
+Status Network::SendMessage(NodeId src, NodeId dst, double bytes,
+                            FlowCallback on_delivered) {
+  double delay = 0;
+  HIVESIM_ASSIGN_OR_RETURN(delay, MessageDelay(src, dst, bytes));
+  MeterBytes(src, dst, bytes);
+  sim_->Schedule(delay, [cb = std::move(on_delivered)] {
+    if (cb) cb();
+  });
+  return Status::OK();
+}
+
+void Network::Refresh() {
+  Progress();
+  Recompute();
+}
+
+double Network::FlowRate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate_bps;
+}
+
+void Network::Progress() {
+  const double now = sim_->Now();
+  const double dt = now - last_update_;
+  last_update_ = now;
+  if (dt <= 0) return;
+  for (auto& [id, flow] : flows_) {
+    const double moved = std::min(flow.remaining_bytes, flow.rate_bps * dt);
+    if (moved > 0) {
+      flow.remaining_bytes -= moved;
+      MeterBytes(flow.src, flow.dst, moved);
+    }
+  }
+}
+
+void Network::Recompute() {
+  // Build the resource table: capacity and the set of unfrozen flows using
+  // each resource.
+  struct ResourceState {
+    double remaining = 0;
+    int unfrozen = 0;
+  };
+  std::unordered_map<ResourceKey, ResourceState, ResourceKeyHash> resources;
+  struct FlowWork {
+    Flow* flow;
+    ResourceKey keys[3];
+    int num_keys = 0;
+    double alloc = 0;
+    bool frozen = false;
+  };
+  std::vector<FlowWork> work;
+  work.reserve(flows_.size());
+
+  for (auto& [id, flow] : flows_) {
+    FlowWork w;
+    w.flow = &flow;
+    const SiteId ssite = topology_->SiteOf(flow.src);
+    const SiteId dsite = topology_->SiteOf(flow.dst);
+    ResourceKey keys[3];
+    double caps[3];
+    int n = 0;
+    keys[n] = {ResourceKind::kEgress, flow.src, 0};
+    caps[n++] = topology_->EgressCap(flow.src);
+    keys[n] = {ResourceKind::kIngress, flow.dst, 0};
+    caps[n++] = topology_->IngressCap(flow.dst);
+    if (ssite != dsite) {
+      // Cross-site flows contend on the directed inter-site path. Intra-
+      // site traffic rides a non-blocking fabric: the per-VM-pair rate is
+      // already folded into the flow's stream cap, and only the NICs are
+      // shared resources.
+      keys[n] = {ResourceKind::kPath, ssite, dsite};
+      auto path = topology_->PathBetween(ssite, dsite);
+      caps[n++] = path.ok() ? path->bandwidth_bps : 0.0;
+    }
+    for (int i = 0; i < n; ++i) {
+      w.keys[i] = keys[i];
+      auto [it, inserted] = resources.try_emplace(keys[i]);
+      if (inserted) it->second.remaining = caps[i];
+      ++it->second.unfrozen;
+    }
+    w.num_keys = n;
+    work.push_back(w);
+  }
+
+  // Progressive filling: raise all unfrozen flows' allocations uniformly
+  // until a flow hits its per-flow cap or a resource saturates; freeze and
+  // repeat. This yields the max-min fair allocation with per-flow caps.
+  size_t frozen_count = 0;
+  while (frozen_count < work.size()) {
+    double delta = std::numeric_limits<double>::infinity();
+    for (const auto& [key, res] : resources) {
+      if (res.unfrozen > 0) {
+        delta = std::min(delta, res.remaining / res.unfrozen);
+      }
+    }
+    for (const auto& w : work) {
+      if (!w.frozen) {
+        delta = std::min(delta, w.flow->stream_cap_bps - w.alloc);
+      }
+    }
+    if (!std::isfinite(delta) || delta < 0) delta = 0;
+
+    for (auto& w : work) {
+      if (!w.frozen) w.alloc += delta;
+    }
+    for (auto& [key, res] : resources) {
+      res.remaining -= delta * res.unfrozen;
+    }
+
+    // Freeze flows that reached their cap or sit on a drained resource.
+    bool froze_any = false;
+    for (auto& w : work) {
+      if (w.frozen) continue;
+      bool freeze = w.alloc >= w.flow->stream_cap_bps - kEpsilonRate;
+      if (!freeze) {
+        for (int i = 0; i < w.num_keys; ++i) {
+          if (resources.at(w.keys[i]).remaining <= kEpsilonRate) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        w.frozen = true;
+        froze_any = true;
+        ++frozen_count;
+        for (int i = 0; i < w.num_keys; ++i) {
+          --resources.at(w.keys[i]).unfrozen;
+        }
+      }
+    }
+    if (!froze_any) {
+      // Numerical safety valve: freeze everything at current allocation.
+      for (auto& w : work) {
+        if (!w.frozen) {
+          w.frozen = true;
+          ++frozen_count;
+        }
+      }
+    }
+  }
+
+  // Apply rates and (re)schedule completions.
+  for (auto& w : work) {
+    Flow& flow = *w.flow;
+    flow.rate_bps = w.alloc;
+    if (flow.has_completion_event) {
+      sim_->Cancel(flow.completion_event);
+      flow.has_completion_event = false;
+    }
+    if (flow.rate_bps > kEpsilonRate) {
+      const double eta = flow.remaining_bytes / flow.rate_bps;
+      const FlowId id = flow.id;
+      flow.completion_event =
+          sim_->Schedule(eta, [this, id] { OnFlowDeadline(id); });
+      flow.has_completion_event = true;
+    }
+  }
+
+  UpdatePeaks();
+}
+
+void Network::OnFlowDeadline(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Flow& flow = it->second;
+  flow.has_completion_event = false;
+  Progress();
+  // Done when the payload is delivered up to floating-point residue, or
+  // when the residue is so small that rescheduling would not advance the
+  // simulation clock (which would loop forever).
+  const double eta =
+      flow.rate_bps > kEpsilonRate ? flow.remaining_bytes / flow.rate_bps
+                                   : std::numeric_limits<double>::infinity();
+  const double now = sim_->Now();
+  const bool clock_would_stall =
+      std::isfinite(eta) && now + eta <= now;
+  if (flow.remaining_bytes <= kEpsilonBytes || clock_would_stall) {
+    FinishFlow(id);
+  } else {
+    // Rate changed since scheduling; Recompute will set a fresh deadline.
+    Recompute();
+  }
+}
+
+void Network::FinishFlow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  FlowCallback cb = std::move(it->second.on_complete);
+  flows_.erase(it);
+  Recompute();
+  if (cb) cb();
+}
+
+void Network::MeterBytes(NodeId src, NodeId dst, double bytes) {
+  // Nodes may be added to the topology after construction.
+  const size_t needed = static_cast<size_t>(std::max(src, dst)) + 1;
+  if (node_egress_bytes_.size() < needed) {
+    node_egress_bytes_.resize(needed, 0.0);
+    node_ingress_bytes_.resize(needed, 0.0);
+    node_peak_egress_.resize(needed, 0.0);
+  }
+  bytes_by_node_pair_[NodePairKey(src, dst)] += bytes;
+  node_egress_bytes_[src] += bytes;
+  node_ingress_bytes_[dst] += bytes;
+}
+
+void Network::UpdatePeaks() {
+  std::vector<double> rates(topology_->num_nodes(), 0.0);
+  for (const auto& [id, flow] : flows_) {
+    rates[flow.src] += flow.rate_bps;
+  }
+  if (node_peak_egress_.size() < rates.size()) {
+    node_peak_egress_.resize(rates.size(), 0.0);
+  }
+  for (size_t i = 0; i < rates.size(); ++i) {
+    node_peak_egress_[i] = std::max(node_peak_egress_[i], rates[i]);
+  }
+}
+
+double Network::BytesBetweenNodes(NodeId src, NodeId dst) const {
+  auto it = bytes_by_node_pair_.find(NodePairKey(src, dst));
+  return it == bytes_by_node_pair_.end() ? 0.0 : it->second;
+}
+
+double Network::BytesBetweenSites(SiteId src, SiteId dst) const {
+  double total = 0;
+  for (const auto& [key, bytes] : bytes_by_node_pair_) {
+    const NodeId s = static_cast<NodeId>(key >> 32);
+    const NodeId d = static_cast<NodeId>(key & 0xffffffffu);
+    if (topology_->SiteOf(s) == src && topology_->SiteOf(d) == dst) {
+      total += bytes;
+    }
+  }
+  return total;
+}
+
+double Network::NodeEgressBytes(NodeId node) const {
+  return node < node_egress_bytes_.size() ? node_egress_bytes_[node] : 0.0;
+}
+
+double Network::NodeIngressBytes(NodeId node) const {
+  return node < node_ingress_bytes_.size() ? node_ingress_bytes_[node] : 0.0;
+}
+
+double Network::NodePeakEgressRate(NodeId node) const {
+  return node < node_peak_egress_.size() ? node_peak_egress_[node] : 0.0;
+}
+
+void Network::ResetMeters() {
+  bytes_by_node_pair_.clear();
+  std::fill(node_egress_bytes_.begin(), node_egress_bytes_.end(), 0.0);
+  std::fill(node_ingress_bytes_.begin(), node_ingress_bytes_.end(), 0.0);
+  std::fill(node_peak_egress_.begin(), node_peak_egress_.end(), 0.0);
+}
+
+}  // namespace hivesim::net

@@ -1,0 +1,158 @@
+#ifndef HIVESIM_NET_NETWORK_H_
+#define HIVESIM_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace hivesim::net {
+
+/// Handle to a transfer in flight.
+using FlowId = uint64_t;
+
+/// Per-flow knobs.
+struct FlowOptions {
+  /// Application-level rate cap in bytes/sec. Hivemind's gradient
+  /// serialization is CPU-bound around ~1.1 Gb/s per stream (Section 4
+  /// observed at most 1.1 Gb/s while averaging on a 7 Gb/s network); the
+  /// training runtime passes that bound here.
+  double app_rate_cap_bps = std::numeric_limits<double>::infinity();
+  /// Number of parallel TCP streams carrying this flow. Each stream is
+  /// window/RTT-capped individually, so `streams > 1` raises the per-flow
+  /// ceiling on high-latency paths (the Section 7 multi-stream insight).
+  int streams = 1;
+};
+
+/// Flow-level network simulation on top of a `Topology`.
+///
+/// Every transfer is a fluid flow that receives a max-min fair share of
+/// three shared resources — the sender's NIC, the receiver's NIC, and the
+/// directed inter-site path — further limited by its TCP window/RTT cap
+/// and an optional application cap. Rates are recomputed whenever a flow
+/// starts or ends, and all byte progress is metered per node pair so the
+/// cloud cost engine can price egress exactly.
+class Network {
+ public:
+  using FlowCallback = std::function<void()>;
+
+  Network(sim::Simulator* sim, const Topology* topology);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Begins transferring `bytes` from `src` to `dst`; `on_complete` fires
+  /// (at most once) when the last byte is delivered. Zero-byte flows
+  /// complete after one RTT/2 (pure latency).
+  Result<FlowId> StartFlow(NodeId src, NodeId dst, double bytes,
+                           FlowCallback on_complete,
+                           FlowOptions options = FlowOptions());
+
+  /// Aborts a flow; bytes already delivered stay metered. Returns false if
+  /// the flow already completed.
+  bool CancelFlow(FlowId id);
+
+  /// Latency-dominated delivery for small control-plane messages (DHT
+  /// RPCs, heartbeats): arrives after RTT/2 plus serialization at the
+  /// single-stream rate, without participating in fair-share contention.
+  /// Bytes are still metered.
+  Status SendMessage(NodeId src, NodeId dst, double bytes,
+                     FlowCallback on_delivered);
+
+  /// The one-way delay SendMessage would incur right now.
+  Result<double> MessageDelay(NodeId src, NodeId dst, double bytes) const;
+
+  /// Re-reads the topology and recomputes all flow rates. Call after
+  /// changing a path with `Topology::SetPath` mid-simulation (live WAN
+  /// degradation/recovery); in-flight flows keep their per-flow stream
+  /// caps but shared path capacities take effect immediately.
+  void Refresh();
+
+  /// Current fair-share rate of a flow in bytes/sec (0 if unknown).
+  double FlowRate(FlowId id) const;
+
+  /// Number of flows in flight.
+  size_t active_flows() const { return flows_.size(); }
+
+  // --- Traffic accounting (all cumulative since construction/reset) ---
+
+  /// Bytes delivered from node `src` to node `dst`.
+  double BytesBetweenNodes(NodeId src, NodeId dst) const;
+  /// Bytes delivered from any node in `src` to any node in `dst`
+  /// (directional; includes src == dst for intra-site traffic).
+  double BytesBetweenSites(SiteId src, SiteId dst) const;
+  /// Total bytes sent by a node.
+  double NodeEgressBytes(NodeId node) const;
+  /// Total bytes received by a node.
+  double NodeIngressBytes(NodeId node) const;
+  /// Highest instantaneous egress rate the node has reached (bytes/sec).
+  double NodePeakEgressRate(NodeId node) const;
+
+  /// Zeroes all meters (peaks included); in-flight flows keep running.
+  void ResetMeters();
+
+  const Topology& topology() const { return *topology_; }
+  sim::Simulator& simulator() { return *sim_; }
+
+ private:
+  struct Flow {
+    FlowId id = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    double remaining_bytes = 0;
+    double rate_bps = 0;       // Current fair share.
+    double stream_cap_bps = 0; // min(path, streams * window/RTT, app cap).
+    FlowCallback on_complete;
+    sim::EventId completion_event = 0;
+    bool has_completion_event = false;
+  };
+
+  // Shared-resource identifiers for the fair-share solver.
+  enum class ResourceKind : uint8_t { kEgress, kIngress, kPath };
+  struct ResourceKey {
+    ResourceKind kind;
+    uint64_t a;  // node id or src site.
+    uint64_t b;  // unused or dst site.
+    bool operator==(const ResourceKey& o) const {
+      return kind == o.kind && a == o.a && b == o.b;
+    }
+  };
+  struct ResourceKeyHash {
+    size_t operator()(const ResourceKey& k) const {
+      return std::hash<uint64_t>()((static_cast<uint64_t>(k.kind) << 62) ^
+                                   (k.a * 0x9e3779b97f4a7c15ULL) ^ k.b);
+    }
+  };
+
+  /// Advances all flows by (now - last_update_) at their current rates and
+  /// books the delivered bytes into the meters.
+  void Progress();
+  /// Recomputes max-min fair rates and reschedules completion events.
+  void Recompute();
+  /// Fires when `id` is expected to finish.
+  void OnFlowDeadline(FlowId id);
+  void FinishFlow(FlowId id);
+  void MeterBytes(NodeId src, NodeId dst, double bytes);
+  void UpdatePeaks();
+
+  sim::Simulator* sim_;
+  const Topology* topology_;
+  FlowId next_flow_id_ = 1;
+  double last_update_ = 0.0;
+  std::unordered_map<FlowId, Flow> flows_;
+
+  std::unordered_map<uint64_t, double> bytes_by_node_pair_;
+  std::vector<double> node_egress_bytes_;
+  std::vector<double> node_ingress_bytes_;
+  std::vector<double> node_peak_egress_;
+};
+
+}  // namespace hivesim::net
+
+#endif  // HIVESIM_NET_NETWORK_H_

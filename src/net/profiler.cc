@@ -1,0 +1,47 @@
+#include "net/profiler.h"
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace hivesim::net {
+
+Result<double> Profiler::Iperf(NodeId src, NodeId dst, double duration_sec,
+                               int streams) {
+  if (duration_sec <= 0) {
+    return Status::InvalidArgument("iperf duration must be positive");
+  }
+  if (streams < 1) {
+    return Status::InvalidArgument("iperf needs at least one stream");
+  }
+  sim::Simulator& sim = network_->simulator();
+  const double before = network_->BytesBetweenNodes(src, dst);
+
+  // Saturating senders: one effectively infinite flow per stream.
+  constexpr double kHugeBytes = 1e15;
+  std::vector<FlowId> flows;
+  flows.reserve(streams);
+  for (int i = 0; i < streams; ++i) {
+    Result<FlowId> flow = network_->StartFlow(src, dst, kHugeBytes, nullptr);
+    if (!flow.ok()) {
+      for (FlowId f : flows) network_->CancelFlow(f);
+      return flow.status();
+    }
+    flows.push_back(*flow);
+  }
+
+  sim.RunUntil(sim.Now() + duration_sec);
+  for (FlowId f : flows) network_->CancelFlow(f);
+
+  const double delivered = network_->BytesBetweenNodes(src, dst) - before;
+  return delivered / duration_sec;
+}
+
+Result<double> Profiler::PingMs(NodeId src, NodeId dst) {
+  Path path;
+  HIVESIM_ASSIGN_OR_RETURN(path,
+                           network_->topology().PathBetweenNodes(src, dst));
+  return SecToMs(path.rtt_sec);
+}
+
+}  // namespace hivesim::net

@@ -1,0 +1,72 @@
+#include "net/topology.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "common/units.h"
+
+namespace hivesim::net {
+
+namespace {
+constexpr double kDefaultNicBps = 10e9 / 8.0;  // 10 Gb/s.
+}  // namespace
+
+SiteId Topology::AddSite(std::string name, Provider provider,
+                         Continent continent) {
+  Site s;
+  s.id = static_cast<SiteId>(sites_.size());
+  s.name = std::move(name);
+  s.provider = provider;
+  s.continent = continent;
+  sites_.push_back(std::move(s));
+  return sites_.back().id;
+}
+
+void Topology::SetPath(SiteId a, SiteId b, double bandwidth_bps,
+                       double rtt_sec, double single_stream_bps) {
+  paths_[PairKey(a, b)] = Path{bandwidth_bps, rtt_sec, single_stream_bps};
+}
+
+Result<Path> Topology::PathBetween(SiteId a, SiteId b) const {
+  auto it = paths_.find(PairKey(a, b));
+  if (it == paths_.end()) {
+    return Status::NotFound(StrFormat("no path between site %u and %u", a, b));
+  }
+  return it->second;
+}
+
+NodeId Topology::AddNode(SiteId site, NodeNetConfig config) {
+  node_sites_.push_back(site);
+  node_configs_.push_back(config);
+  return static_cast<NodeId>(node_sites_.size() - 1);
+}
+
+Result<Path> Topology::PathBetweenNodes(NodeId a, NodeId b) const {
+  return PathBetween(SiteOf(a), SiteOf(b));
+}
+
+Result<double> Topology::SingleStreamCap(NodeId src, NodeId dst) const {
+  Path path;
+  HIVESIM_ASSIGN_OR_RETURN(path, PathBetweenNodes(src, dst));
+  const NodeNetConfig& cfg = ConfigOf(src);
+  double cap = path.bandwidth_bps;
+  if (path.rtt_sec > 0) {
+    cap = std::min(cap, cfg.tcp_window_bytes / path.rtt_sec);
+  }
+  if (path.single_stream_bps > 0) {
+    cap = std::min(cap, path.single_stream_bps);
+  }
+  return cap;
+}
+
+double Topology::EgressCap(NodeId node) const {
+  const double v = ConfigOf(node).nic_egress_bps;
+  return v > 0 ? v : kDefaultNicBps;
+}
+
+double Topology::IngressCap(NodeId node) const {
+  const double v = ConfigOf(node).nic_ingress_bps;
+  return v > 0 ? v : kDefaultNicBps;
+}
+
+}  // namespace hivesim::net

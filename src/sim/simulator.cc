@@ -1,0 +1,84 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace hivesim::sim {
+
+EventId Simulator::Schedule(double delay, Callback cb) {
+  if (delay < 0) delay = 0;
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::ScheduleAt(double when, Callback cb) {
+  if (when < now_) when = now_;
+  auto ev = std::make_shared<Event>();
+  ev->when = when;
+  ev->seq = next_seq_++;
+  ev->id = next_id_++;
+  ev->cb = std::move(cb);
+  cancel_index_.emplace(ev->id, ev);
+  queue_.push(ev);
+  ++live_events_;
+  return ev->id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  auto it = cancel_index_.find(id);
+  if (it == cancel_index_.end()) return false;
+  auto ev = it->second.lock();
+  cancel_index_.erase(it);
+  if (!ev || ev->cancelled) return false;
+  ev->cancelled = true;
+  ev->cb = nullptr;  // Release captured state eagerly.
+  --live_events_;
+  return true;
+}
+
+std::shared_ptr<Simulator::Event> Simulator::PopNextLive() {
+  while (!queue_.empty()) {
+    auto ev = queue_.top();
+    queue_.pop();
+    if (!ev->cancelled) return ev;
+  }
+  return nullptr;
+}
+
+bool Simulator::Step() {
+  auto ev = PopNextLive();
+  if (!ev) return false;
+  assert(ev->when >= now_);
+  now_ = ev->when;
+  --live_events_;
+  ++events_fired_;
+  cancel_index_.erase(ev->id);
+  // Move the callback out so the event can schedule/cancel freely.
+  Callback cb = std::move(ev->cb);
+  cb();
+  return true;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(double when) {
+  while (true) {
+    auto ev = PopNextLive();
+    if (!ev) break;
+    if (ev->when > when) {
+      // Not due yet: push it back and stop.
+      queue_.push(ev);
+      break;
+    }
+    now_ = ev->when;
+    --live_events_;
+    ++events_fired_;
+    cancel_index_.erase(ev->id);
+    Callback cb = std::move(ev->cb);
+    cb();
+  }
+  if (now_ < when) now_ = when;
+}
+
+}  // namespace hivesim::sim

@@ -1,0 +1,96 @@
+#ifndef HIVESIM_SIM_SIMULATOR_H_
+#define HIVESIM_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hivesim::sim {
+
+/// Opaque handle to a scheduled event; usable to cancel it.
+using EventId = uint64_t;
+
+/// Deterministic discrete-event simulation kernel.
+///
+/// All higher layers (network flows, VM lifecycles, training loops) are
+/// callback state machines driven by this queue. Two events scheduled for
+/// the same timestamp fire in scheduling order (FIFO tie-break), which
+/// keeps runs bit-reproducible.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time in seconds since simulation start.
+  double Now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` seconds from now. Negative delays are
+  /// clamped to zero (fire at the current time, after already-queued
+  /// same-time events).
+  EventId Schedule(double delay, Callback cb);
+
+  /// Schedules `cb` at absolute time `when`; times in the past are clamped
+  /// to `Now()`.
+  EventId ScheduleAt(double when, Callback cb);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  /// Runs a single event. Returns false when the queue is empty.
+  bool Step();
+
+  /// Runs until the event queue drains.
+  void Run();
+
+  /// Runs events with timestamps <= `when`, then advances the clock to
+  /// `when` even if no event fired exactly there.
+  void RunUntil(double when);
+
+  /// Number of events that have fired so far.
+  uint64_t events_fired() const { return events_fired_; }
+  /// Number of events currently pending (including cancelled-but-queued).
+  size_t pending() const { return live_events_; }
+
+ private:
+  struct Event {
+    double when;
+    uint64_t seq;
+    EventId id;
+    Callback cb;
+    bool cancelled = false;
+  };
+
+  struct Later {
+    bool operator()(const std::shared_ptr<Event>& a,
+                    const std::shared_ptr<Event>& b) const {
+      if (a->when != b->when) return a->when > b->when;
+      return a->seq > b->seq;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t events_fired_ = 0;
+  size_t live_events_ = 0;
+  std::priority_queue<std::shared_ptr<Event>,
+                      std::vector<std::shared_ptr<Event>>, Later>
+      queue_;
+  // Cancellation map: id -> event. Entries are erased when fired/cancelled.
+  std::unordered_map<EventId, std::weak_ptr<Event>> cancel_index_;
+
+  std::shared_ptr<Event> PopNextLive();
+};
+
+}  // namespace hivesim::sim
+
+#endif  // HIVESIM_SIM_SIMULATOR_H_

@@ -1,0 +1,372 @@
+#include <gtest/gtest.h>
+
+#include "cloud/cost.h"
+#include "cloud/pricing.h"
+#include "cloud/spot_market.h"
+#include "cloud/vm.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/profiles.h"
+
+namespace hivesim::cloud {
+namespace {
+
+using net::Continent;
+using net::Provider;
+
+net::Site MakeSite(Provider p, Continent c) {
+  net::Site s;
+  s.provider = p;
+  s.continent = c;
+  return s;
+}
+
+// --- Pricing: Table 1 ---
+
+TEST(PricingTest, Table1SpotPrices) {
+  EXPECT_DOUBLE_EQ(GetVmType(VmTypeId::kGcT4).spot_per_hour, 0.180);
+  EXPECT_DOUBLE_EQ(GetVmType(VmTypeId::kAwsT4).spot_per_hour, 0.395);
+  EXPECT_DOUBLE_EQ(GetVmType(VmTypeId::kAzureT4).spot_per_hour, 0.134);
+}
+
+TEST(PricingTest, Table1OnDemandPrices) {
+  EXPECT_DOUBLE_EQ(GetVmType(VmTypeId::kGcT4).ondemand_per_hour, 0.572);
+  EXPECT_DOUBLE_EQ(GetVmType(VmTypeId::kAwsT4).ondemand_per_hour, 0.802);
+  EXPECT_DOUBLE_EQ(GetVmType(VmTypeId::kAzureT4).ondemand_per_hour, 0.489);
+}
+
+TEST(PricingTest, SpotDiscountsMatchSection5) {
+  // GC saves 69%, Azure 73%, AWS only 51% over on-demand.
+  auto discount = [](VmTypeId id) {
+    const VmType& vm = GetVmType(id);
+    return 1.0 - vm.spot_per_hour / vm.ondemand_per_hour;
+  };
+  EXPECT_NEAR(discount(VmTypeId::kGcT4), 0.69, 0.01);
+  EXPECT_NEAR(discount(VmTypeId::kAzureT4), 0.73, 0.01);
+  EXPECT_NEAR(discount(VmTypeId::kAwsT4), 0.51, 0.01);
+}
+
+TEST(PricingTest, DgxAndLambdaPricing) {
+  EXPECT_DOUBLE_EQ(GetVmType(VmTypeId::kGcDgx2).spot_per_hour, 6.30);
+  EXPECT_DOUBLE_EQ(GetVmType(VmTypeId::kGcDgx2).ondemand_per_hour, 14.60);
+  // LambdaLabs has no spot tier: both rates are $0.60.
+  EXPECT_DOUBLE_EQ(GetVmType(VmTypeId::kLambdaA10).spot_per_hour, 0.60);
+  EXPECT_DOUBLE_EQ(GetVmType(VmTypeId::kLambdaA10).ondemand_per_hour, 0.60);
+}
+
+TEST(PricingTest, EgressIntraProviderInterZone) {
+  EXPECT_DOUBLE_EQ(EgressPricePerGb(Provider::kGoogleCloud, Continent::kUs,
+                                    Provider::kGoogleCloud, Continent::kUs),
+                   0.01);
+  EXPECT_DOUBLE_EQ(EgressPricePerGb(Provider::kAzure, Continent::kUs,
+                                    Provider::kAzure, Continent::kUs),
+                   0.00);
+}
+
+TEST(PricingTest, EgressCrossProviderSameContinent) {
+  // Fig. 11a: the D experiments bill US-zone traffic at $0.01 (GC) and
+  // $0.02 (Azure) per GB.
+  EXPECT_DOUBLE_EQ(EgressPricePerGb(Provider::kGoogleCloud, Continent::kUs,
+                                    Provider::kAws, Continent::kUs),
+                   0.01);
+  EXPECT_DOUBLE_EQ(EgressPricePerGb(Provider::kAzure, Continent::kUs,
+                                    Provider::kGoogleCloud, Continent::kUs),
+                   0.02);
+}
+
+TEST(PricingTest, EgressIntercontinental) {
+  EXPECT_DOUBLE_EQ(EgressPricePerGb(Provider::kGoogleCloud, Continent::kUs,
+                                    Provider::kGoogleCloud, Continent::kEu),
+                   0.08);
+  EXPECT_DOUBLE_EQ(EgressPricePerGb(Provider::kAws, Continent::kUs,
+                                    Provider::kAws, Continent::kEu),
+                   0.02);
+  EXPECT_DOUBLE_EQ(EgressPricePerGb(Provider::kAzure, Continent::kEu,
+                                    Provider::kAzure, Continent::kAsia),
+                   0.02);
+}
+
+TEST(PricingTest, AnythingToOceaniaIsPremium) {
+  // "Traffic ANY-OCE": GC $0.15/GB, AWS $0.02, Azure $0.08.
+  EXPECT_DOUBLE_EQ(EgressPricePerGb(Provider::kGoogleCloud, Continent::kEu,
+                                    Provider::kGoogleCloud, Continent::kAus),
+                   0.15);
+  EXPECT_DOUBLE_EQ(EgressPricePerGb(Provider::kGoogleCloud, Continent::kAus,
+                                    Provider::kGoogleCloud, Continent::kUs),
+                   0.15);
+  EXPECT_DOUBLE_EQ(EgressPricePerGb(Provider::kAws, Continent::kUs,
+                                    Provider::kAws, Continent::kAus),
+                   0.02);
+  EXPECT_DOUBLE_EQ(EgressPricePerGb(Provider::kAzure, Continent::kAsia,
+                                    Provider::kAzure, Continent::kAus),
+                   0.08);
+}
+
+TEST(PricingTest, IntraAusSameProviderStaysZonal) {
+  EXPECT_DOUBLE_EQ(EgressPricePerGb(Provider::kGoogleCloud, Continent::kAus,
+                                    Provider::kGoogleCloud, Continent::kAus),
+                   0.01);
+}
+
+TEST(PricingTest, LambdaAndOnPremEgressFree) {
+  EXPECT_DOUBLE_EQ(EgressPricePerGb(Provider::kLambdaLabs, Continent::kUs,
+                                    Provider::kGoogleCloud, Continent::kAus),
+                   0.0);
+  EXPECT_DOUBLE_EQ(EgressPricePerGb(Provider::kOnPremise, Continent::kEu,
+                                    Provider::kGoogleCloud, Continent::kUs),
+                   0.0);
+}
+
+TEST(PricingTest, BackblazeRates) {
+  EXPECT_DOUBLE_EQ(DataIngressPricePerGb(), 0.01);
+  EXPECT_DOUBLE_EQ(StoragePricePerGbMonth(), 0.005);
+}
+
+// --- Cost engine ---
+
+TEST(CostTest, InstanceCostSpotVsOnDemand) {
+  VmUsage usage;
+  usage.type = VmTypeId::kGcT4;
+  usage.site = MakeSite(Provider::kGoogleCloud, Continent::kUs);
+  usage.hours = 10;
+  usage.spot = true;
+  EXPECT_NEAR(PriceVm(usage).instance, 1.80, 1e-9);
+  usage.spot = false;
+  EXPECT_NEAR(PriceVm(usage).instance, 5.72, 1e-9);
+}
+
+TEST(CostTest, EgressSplitInternalExternal) {
+  VmUsage usage;
+  usage.type = VmTypeId::kGcT4;
+  usage.site = MakeSite(Provider::kGoogleCloud, Continent::kUs);
+  usage.hours = 1;
+  // 10 GB to the same-cloud partner (internal, $0.01/GB), 20 GB to AWS in
+  // the same region (external, $0.01/GB), 5 GB to GC AUS ($0.15/GB).
+  usage.egress_bytes_by_dst = {
+      {MakeSite(Provider::kGoogleCloud, Continent::kUs), 10 * kGB},
+      {MakeSite(Provider::kAws, Continent::kUs), 20 * kGB},
+      {MakeSite(Provider::kGoogleCloud, Continent::kAus), 5 * kGB},
+  };
+  const CostBreakdown cost = PriceVm(usage);
+  EXPECT_NEAR(cost.internal_egress, 0.10, 1e-9);
+  EXPECT_NEAR(cost.external_egress, 0.20 + 0.75, 1e-9);
+}
+
+TEST(CostTest, DataLoadingPricedAtB2Rate) {
+  VmUsage usage;
+  usage.type = VmTypeId::kAzureT4;
+  usage.site = MakeSite(Provider::kAzure, Continent::kUs);
+  usage.hours = 0;
+  usage.data_ingress_bytes = 50 * kGB;
+  EXPECT_NEAR(PriceVm(usage).data_loading, 0.50, 1e-9);
+}
+
+TEST(CostTest, FleetSumsBreakdowns) {
+  VmUsage a;
+  a.type = VmTypeId::kGcT4;
+  a.site = MakeSite(Provider::kGoogleCloud, Continent::kUs);
+  a.hours = 1;
+  VmUsage b = a;
+  b.type = VmTypeId::kAzureT4;
+  const CostBreakdown total = PriceFleet({a, b});
+  EXPECT_NEAR(total.instance, 0.180 + 0.134, 1e-9);
+  EXPECT_NEAR(total.Total(), total.instance, 1e-9);
+}
+
+TEST(CostTest, CostPerMillionSamplesMatchesFig1Anchors) {
+  // Fig. 1: the DGX-2 at 413 SPS and $6.30/h spot costs $4.24/1M samples.
+  EXPECT_NEAR(CostPerMillionSamples(6.30, 413), 4.24, 0.02);
+  // 1xT4 at 80 SPS and $0.18/h -> $0.62/1M.
+  EXPECT_NEAR(CostPerMillionSamples(0.18, 80), 0.625, 0.01);
+  EXPECT_DOUBLE_EQ(CostPerMillionSamples(1.0, 0), 0);
+}
+
+// --- Spot market ---
+
+TEST(SpotMarketTest, LocalHourUsesZoneOffsets) {
+  // At simulation time 0 (00:00 UTC): Iowa 18:00, Belgium 01:00,
+  // Taiwan 08:00, Sydney 10:00.
+  EXPECT_DOUBLE_EQ(SpotMarket::LocalHour(Continent::kUs, 0), 18.0);
+  EXPECT_DOUBLE_EQ(SpotMarket::LocalHour(Continent::kEu, 0), 1.0);
+  EXPECT_DOUBLE_EQ(SpotMarket::LocalHour(Continent::kAsia, 0), 8.0);
+  EXPECT_DOUBLE_EQ(SpotMarket::LocalHour(Continent::kAus, 0), 10.0);
+  EXPECT_DOUBLE_EQ(SpotMarket::LocalHour(Continent::kEu, 23 * kHour), 0.0);
+}
+
+TEST(SpotMarketTest, InterruptionDelaysPositiveAndFinite) {
+  SpotMarket market(Rng(42));
+  for (int i = 0; i < 100; ++i) {
+    const double d = market.SampleInterruptionDelay(Continent::kUs, 0);
+    EXPECT_GT(d, 0);
+    EXPECT_LT(d, 10 * 365 * 24 * kHour);
+  }
+}
+
+TEST(SpotMarketTest, DaytimeInterruptsMoreOften) {
+  // Extreme settings so a daytime VM almost surely dies within its first
+  // day segment, while a night-time VM survives at least until morning.
+  SpotMarketConfig config;
+  config.base_monthly_interruption_rate = 0.9999;
+  config.daylight_multiplier = 1000.0;
+  SpotMarket market(Rng(7), config);
+  // Sydney at sim time 0 is 10:00 (day); Belgium is 01:00 (night).
+  double day_sum = 0, night_sum = 0;
+  constexpr int kN = 200;
+  for (int i = 0; i < kN; ++i) {
+    day_sum += market.SampleInterruptionDelay(Continent::kAus, 0);
+    night_sum += market.SampleInterruptionDelay(Continent::kEu, 0);
+  }
+  // Daytime mean is minutes; the night VM has ~7 quiet hours first.
+  EXPECT_LT(day_sum / kN, kHour);
+  EXPECT_GT(night_sum / kN, 3 * kHour);
+}
+
+TEST(SpotMarketTest, StartupDelayWithinConfiguredRange) {
+  SpotMarket market(Rng(3));
+  for (int i = 0; i < 100; ++i) {
+    const double d = market.SampleStartupDelay();
+    EXPECT_GE(d, market.config().vm_startup_min_sec);
+    EXPECT_LT(d, market.config().vm_startup_max_sec);
+  }
+}
+
+TEST(SpotMarketTest, PriceMultiplierBoundedAndDeterministic) {
+  SpotMarket a(Rng(1)), b(Rng(999));
+  for (int h = 0; h < 48; ++h) {
+    const double m = a.SpotPriceMultiplier(Continent::kUs, h * kHour);
+    EXPECT_GE(m, 1.0 - 0.10 - 0.08);
+    EXPECT_LE(m, 1.0 + 0.10 + 0.08);
+    // Independent of the RNG stream: price series are zone state.
+    EXPECT_DOUBLE_EQ(m, b.SpotPriceMultiplier(Continent::kUs, h * kHour));
+  }
+}
+
+TEST(SpotMarketTest, PricesFollowTheSun) {
+  // The diurnal component makes daytime hours systematically pricier.
+  SpotMarket market(Rng(1));
+  double day_sum = 0, night_sum = 0;
+  int day_n = 0, night_n = 0;
+  for (int h = 0; h < 24 * 14; ++h) {
+    const double local = SpotMarket::LocalHour(Continent::kAsia, h * kHour);
+    const double m = market.SpotPriceMultiplier(Continent::kAsia, h * kHour);
+    if (local >= 8 && local < 20) {
+      day_sum += m;
+      ++day_n;
+    } else {
+      night_sum += m;
+      ++night_n;
+    }
+  }
+  EXPECT_GT(day_sum / day_n, night_sum / night_n + 0.15);
+}
+
+TEST(SpotMarketTest, PriceVariesAcrossHoursAndZones) {
+  SpotMarket market(Rng(1));
+  bool varies = false;
+  const double first = market.SpotPriceMultiplier(Continent::kUs, 0);
+  for (int h = 1; h < 24; ++h) {
+    if (market.SpotPriceMultiplier(Continent::kUs, h * kHour) != first) {
+      varies = true;
+    }
+  }
+  EXPECT_TRUE(varies);
+  EXPECT_NE(market.SpotPriceMultiplier(Continent::kUs, 0),
+            market.SpotPriceMultiplier(Continent::kAsia, 0));
+}
+
+// --- VM lifecycle ---
+
+class VmTest : public ::testing::Test {
+ protected:
+  VmTest() : market_(Rng(5)) {}
+
+  sim::Simulator sim_;
+  SpotMarket market_{Rng(5)};
+};
+
+TEST_F(VmTest, StartProvisionsThenRuns) {
+  VmInstance::Config config;
+  config.spot = false;
+  VmInstance vm(&sim_, &market_, Continent::kUs, config);
+  int running_count = 0;
+  vm.on_running = [&] { ++running_count; };
+  EXPECT_EQ(vm.state(), VmState::kPending);
+  vm.Start();
+  EXPECT_EQ(vm.state(), VmState::kProvisioning);
+  sim_.Run();
+  EXPECT_EQ(vm.state(), VmState::kRunning);
+  EXPECT_EQ(running_count, 1);
+  EXPECT_GE(sim_.Now(), market_.config().vm_startup_min_sec);
+}
+
+TEST_F(VmTest, BilledHoursAccumulateWhileRunning) {
+  VmInstance::Config config;
+  config.spot = false;
+  VmInstance vm(&sim_, &market_, Continent::kUs, config);
+  vm.Start();
+  sim_.Run();  // Now running.
+  const double start = sim_.Now();
+  sim_.RunUntil(start + 2 * kHour);
+  EXPECT_NEAR(vm.BilledHours(), 2.0, 1e-9);
+  vm.Stop();
+  sim_.RunUntil(start + 5 * kHour);
+  EXPECT_NEAR(vm.BilledHours(), 2.0, 1e-9);
+  EXPECT_EQ(vm.state(), VmState::kStopped);
+}
+
+TEST_F(VmTest, SpotVmEventuallyInterrupted) {
+  SpotMarketConfig config;
+  config.base_monthly_interruption_rate = 0.9999;
+  config.daylight_multiplier = 50;
+  SpotMarket hot_market(Rng(11), config);
+  VmInstance::Config vm_config;
+  vm_config.spot = true;
+  VmInstance vm(&sim_, &hot_market, Continent::kUs, vm_config);
+  bool interrupted = false;
+  vm.on_interrupted = [&] { interrupted = true; };
+  vm.Start();
+  sim_.Run();
+  EXPECT_TRUE(interrupted);
+  EXPECT_EQ(vm.state(), VmState::kInterrupted);
+  EXPECT_EQ(vm.interruptions(), 1);
+}
+
+TEST_F(VmTest, AutoRestartReplacesInterruptedVm) {
+  SpotMarketConfig config;
+  config.base_monthly_interruption_rate = 0.9999;
+  config.daylight_multiplier = 50;
+  SpotMarket hot_market(Rng(13), config);
+  VmInstance::Config vm_config;
+  vm_config.spot = true;
+  vm_config.auto_restart = true;
+  VmInstance vm(&sim_, &hot_market, Continent::kUs, vm_config);
+  int running_count = 0;
+  vm.on_running = [&] {
+    ++running_count;
+    if (running_count >= 3) vm.Stop();
+  };
+  vm.Start();
+  sim_.Run();
+  EXPECT_GE(running_count, 3);
+  EXPECT_GE(vm.interruptions(), 2);
+  EXPECT_EQ(vm.state(), VmState::kStopped);
+}
+
+TEST_F(VmTest, UninterruptibleSpotVmNeverDies) {
+  VmInstance::Config config;
+  config.spot = true;
+  config.interruptible = false;  // The paper's measurement mode.
+  VmInstance vm(&sim_, &market_, Continent::kUs, config);
+  vm.Start();
+  sim_.Run();
+  sim_.RunUntil(sim_.Now() + 100 * kHour);
+  EXPECT_EQ(vm.state(), VmState::kRunning);
+}
+
+TEST_F(VmTest, StateNames) {
+  EXPECT_EQ(VmStateName(VmState::kRunning), "running");
+  EXPECT_EQ(VmStateName(VmState::kInterrupted), "interrupted");
+}
+
+}  // namespace
+}  // namespace hivesim::cloud

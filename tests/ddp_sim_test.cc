@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "baselines/ddp_sim.h"
+#include "common/units.h"
+#include "models/calibration.h"
+#include "sim/simulator.h"
+
+namespace hivesim::baselines {
+namespace {
+
+using models::ModelId;
+
+TEST(DdpSimTest, MatchesClosedFormWithoutOverlap) {
+  // overlap 0 + one bucket == the DdpThroughput ring model.
+  sim::Simulator sim;
+  DdpSimConfig config;
+  config.node = Gc4xT4Node(ModelId::kResNet50);  // Unanchored config.
+  config.buckets = 1;
+  config.overlap_frac = 0.0;
+  DdpNodeSim node(&sim, config);
+  auto stats = node.RunFor(kHour);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  auto analytic = DdpThroughput(config.node);
+  ASSERT_TRUE(analytic.ok());
+  EXPECT_NEAR(stats->throughput_sps, *analytic, *analytic * 0.02);
+}
+
+TEST(DdpSimTest, BucketOverlapImprovesThroughput) {
+  sim::Simulator sim;
+  DdpSimConfig sync;
+  sync.node = Gc4xT4Node(ModelId::kResNet50);
+  sync.buckets = 1;
+  sync.overlap_frac = 0.0;
+  DdpSimConfig overlapped = sync;
+  overlapped.buckets = 4;
+  overlapped.overlap_frac = 0.75;
+
+  DdpNodeSim a(&sim, sync);
+  auto slow = a.RunFor(kHour);
+  DdpNodeSim b(&sim, overlapped);
+  auto fast = b.RunFor(kHour);
+  ASSERT_TRUE(slow.ok() && fast.ok());
+  EXPECT_GT(fast->throughput_sps, slow->throughput_sps);
+  // Never better than perfect scaling.
+  const double perfect =
+      4 * models::BaselineSps(ModelId::kResNet50,
+                              compute::GpuModel::kT4)
+              .value();
+  EXPECT_LT(fast->throughput_sps, perfect);
+}
+
+TEST(DdpSimTest, SingleGpuHasNoCommTerm) {
+  sim::Simulator sim;
+  DdpSimConfig config;
+  config.node = A100Node(ModelId::kWhisperSmall);
+  DdpNodeSim node(&sim, config);
+  auto step = node.StepSeconds();
+  ASSERT_TRUE(step.ok());
+  // 8-sample microbatch at 46 SPS.
+  EXPECT_NEAR(*step, 8.0 / 46.0, 1e-9);
+  auto stats = node.RunFor(kHour);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(stats->throughput_sps, 46.0, 0.5);
+}
+
+TEST(DdpSimTest, OomConfigRefusesToStart) {
+  sim::Simulator sim;
+  DdpSimConfig config;
+  config.node = Gc4xT4Node(ModelId::kRobertaXlm);  // OOMs on a T4.
+  DdpNodeSim node(&sim, config);
+  EXPECT_EQ(node.Start().code(), StatusCode::kOutOfMemory);
+}
+
+TEST(DdpSimTest, StopFreezesStatsAndDoubleStartRejected) {
+  sim::Simulator sim;
+  DdpSimConfig config;
+  config.node = Dgx2Node(ModelId::kResNet152);
+  DdpNodeSim node(&sim, config);
+  ASSERT_TRUE(node.Start().ok());
+  EXPECT_EQ(node.Start().code(), StatusCode::kFailedPrecondition);
+  sim.RunUntil(600);
+  node.Stop();
+  const auto frozen = node.GetStats();
+  EXPECT_GT(frozen.steps, 0);
+  sim.RunUntil(1200);
+  EXPECT_EQ(node.GetStats().steps, frozen.steps);
+  EXPECT_DOUBLE_EQ(node.GetStats().duration_sec, frozen.duration_sec);
+}
+
+TEST(DdpSimTest, InvalidConfigRejected) {
+  sim::Simulator sim;
+  DdpSimConfig config;
+  config.node = Dgx2Node(ModelId::kResNet50);
+  config.buckets = 0;
+  DdpNodeSim node(&sim, config);
+  EXPECT_EQ(node.Start().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hivesim::baselines

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+#include "common/json.h"
+
+namespace hivesim {
+namespace {
+
+// --- FlagSet ---
+
+FlagSet ParseArgs(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  FlagSet flags;
+  EXPECT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  return flags;
+}
+
+TEST(FlagSetTest, EqualsAndSpaceForms) {
+  FlagSet flags = ParseArgs({"run", "--model=RXLM", "--tbs", "8192"});
+  EXPECT_EQ(flags.positional(), std::vector<std::string>{"run"});
+  EXPECT_EQ(flags.GetString("model", ""), "RXLM");
+  EXPECT_EQ(flags.GetInt("tbs", 0).value(), 8192);
+}
+
+TEST(FlagSetTest, BareFlagIsBooleanTrue) {
+  FlagSet flags = ParseArgs({"--verbose", "--quiet=false"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_FALSE(flags.GetBool("quiet", true));
+  EXPECT_TRUE(flags.GetBool("missing", true));
+}
+
+TEST(FlagSetTest, BareFlagFollowedByFlagStaysBoolean) {
+  FlagSet flags = ParseArgs({"--a", "--b", "value"});
+  EXPECT_EQ(flags.GetString("a", ""), "true");
+  EXPECT_EQ(flags.GetString("b", ""), "value");
+}
+
+TEST(FlagSetTest, DefaultsWhenAbsent) {
+  FlagSet flags = ParseArgs({});
+  EXPECT_EQ(flags.GetString("x", "fallback"), "fallback");
+  EXPECT_EQ(flags.GetInt("n", 7).value(), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("d", 2.5).value(), 2.5);
+  EXPECT_FALSE(flags.Has("x"));
+}
+
+TEST(FlagSetTest, NumericParseErrors) {
+  FlagSet flags = ParseArgs({"--n=abc", "--d", "1.2.3"});
+  EXPECT_EQ(flags.GetInt("n", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(flags.GetDouble("d", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlagSetTest, CheckKnownFlagsUnknown) {
+  FlagSet flags = ParseArgs({"--model=CONV", "--oops=1"});
+  EXPECT_TRUE(flags.CheckKnown({"model", "oops"}).ok());
+  EXPECT_EQ(flags.CheckKnown({"model"}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlagSetTest, EmptyFlagNameRejected) {
+  const char* argv[] = {"prog", "--"};
+  FlagSet flags;
+  EXPECT_EQ(flags.Parse(2, argv).code(), StatusCode::kInvalidArgument);
+}
+
+// --- JsonWriter ---
+
+TEST(JsonTest, ObjectWithMixedValues) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("sps").Number(261.9);
+  json.Key("epochs").Int(61);
+  json.Key("spot").Bool(true);
+  json.Key("note").Null();
+  json.EndObject();
+  EXPECT_EQ(json.ToString(),
+            "{\"sps\":261.9,\"epochs\":61,\"spot\":true,\"note\":null}");
+}
+
+TEST(JsonTest, NestedContainers) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("fleet").BeginArray();
+  json.String("gc-t4");
+  json.String("aws-t4");
+  json.EndArray();
+  json.Key("cost").BeginObject().Key("usd").Number(1.5).EndObject();
+  json.EndObject();
+  EXPECT_EQ(json.ToString(),
+            "{\"fleet\":[\"gc-t4\",\"aws-t4\"],\"cost\":{\"usd\":1.5}}");
+}
+
+TEST(JsonTest, ArrayOfObjects) {
+  JsonWriter json;
+  json.BeginArray();
+  json.BeginObject().Key("a").Int(1).EndObject();
+  json.BeginObject().Key("b").Int(2).EndObject();
+  json.EndArray();
+  EXPECT_EQ(json.ToString(), "[{\"a\":1},{\"b\":2}]");
+}
+
+TEST(JsonTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::Escape(std::string(1, '\x01')), "\\u0001");
+  JsonWriter json;
+  json.String("quote\"inside");
+  EXPECT_EQ(json.ToString(), "\"quote\\\"inside\"");
+}
+
+TEST(JsonTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Number(std::numeric_limits<double>::infinity());
+  json.Number(std::numeric_limits<double>::quiet_NaN());
+  json.Number(1.0);
+  json.EndArray();
+  EXPECT_EQ(json.ToString(), "[null,null,1]");
+}
+
+}  // namespace
+}  // namespace hivesim

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "cloud/spot_market.h"
+#include "common/units.h"
+#include "core/migrator.h"
+#include "net/profiles.h"
+#include "sim/simulator.h"
+
+namespace hivesim::core {
+namespace {
+
+using models::ModelId;
+
+class MigratorTest : public ::testing::Test {
+ protected:
+  MigratorTest()
+      : topo_(net::StandardWorld()),
+        network_(&sim_, &topo_),
+        market_(Rng(42)),
+        trainer_(&network_, MakeConfig()) {}
+
+  static hivemind::TrainerConfig MakeConfig() {
+    hivemind::TrainerConfig config;
+    config.model = ModelId::kConvNextLarge;
+    return config;
+  }
+
+  hivemind::PeerSpec AddPeerAt(net::SiteId site) {
+    hivemind::PeerSpec peer;
+    peer.node = topo_.AddNode(site, net::CloudVmNetConfig());
+    EXPECT_TRUE(trainer_.AddPeer(peer).ok());
+    return peer;
+  }
+
+  sim::Simulator sim_;
+  net::Topology topo_;
+  net::Network network_;
+  cloud::SpotMarket market_;
+  hivemind::Trainer trainer_;
+};
+
+TEST_F(MigratorTest, MigratesTowardCheaperZonesAndSaves) {
+  SpotMigrator migrator(&sim_, &topo_, &trainer_, &market_,
+                        cloud::VmTypeId::kGcT4);
+  std::vector<hivemind::PeerSpec> peers;
+  for (int i = 0; i < 4; ++i) {
+    peers.push_back(AddPeerAt(net::kGcUs));
+    migrator.ManagePeer(peers.back(), net::kGcUs);
+  }
+  ASSERT_TRUE(trainer_.Start().ok());
+  migrator.Start();
+  sim_.RunUntil(72 * kHour);
+  migrator.Stop();
+  trainer_.Stop();
+
+  const auto report = migrator.GetReport();
+  // Hourly +-15% price jitter across four zones gives plenty of >=10%
+  // arbitrage opportunities over three days.
+  EXPECT_GT(report.migrations, 0);
+  EXPECT_LT(report.fleet_cost, report.static_cost);
+  EXPECT_GT(report.SavingsFrac(), 0.0);
+  EXPECT_LT(report.SavingsFrac(), 0.30);  // Bounded by the jitter range.
+  // Training never stopped.
+  EXPECT_GT(trainer_.Stats().epochs, 100);
+}
+
+TEST_F(MigratorTest, RespectsConcurrencyCap) {
+  MigrationPolicy policy;
+  policy.max_concurrent_migrations = 1;
+  policy.min_savings_frac = 0.01;  // Migrate eagerly.
+  SpotMigrator migrator(&sim_, &topo_, &trainer_, &market_,
+                        cloud::VmTypeId::kGcT4, policy);
+  for (int i = 0; i < 4; ++i) {
+    migrator.ManagePeer(AddPeerAt(net::kGcUs), net::kGcUs);
+  }
+  ASSERT_TRUE(trainer_.Start().ok());
+  migrator.Start();
+  // During the first check, at most one peer may leave the swarm.
+  sim_.RunUntil(policy.check_interval_sec + 1);
+  EXPECT_GE(trainer_.ActivePeers() + 0, 3);
+  sim_.RunUntil(24 * kHour);
+  migrator.Stop();
+  trainer_.Stop();
+  EXPECT_GT(trainer_.Stats().epochs, 50);
+}
+
+TEST_F(MigratorTest, NoMigrationWhenThresholdUnreachable) {
+  MigrationPolicy policy;
+  policy.min_savings_frac = 0.95;  // Beyond the +-15% jitter range.
+  SpotMigrator migrator(&sim_, &topo_, &trainer_, &market_,
+                        cloud::VmTypeId::kGcT4, policy);
+  migrator.ManagePeer(AddPeerAt(net::kGcUs), net::kGcUs);
+  migrator.ManagePeer(AddPeerAt(net::kGcUs), net::kGcUs);
+  ASSERT_TRUE(trainer_.Start().ok());
+  migrator.Start();
+  sim_.RunUntil(48 * kHour);
+  migrator.Stop();
+  trainer_.Stop();
+  const auto report = migrator.GetReport();
+  EXPECT_EQ(report.migrations, 0);
+  EXPECT_DOUBLE_EQ(report.fleet_cost, report.static_cost);
+  for (net::SiteId site : migrator.PeerSites()) {
+    EXPECT_EQ(site, net::kGcUs);
+  }
+}
+
+TEST_F(MigratorTest, ReportAccruesEvenWithoutTicks) {
+  SpotMigrator migrator(&sim_, &topo_, &trainer_, &market_,
+                        cloud::VmTypeId::kGcT4);
+  migrator.ManagePeer(AddPeerAt(net::kGcUs), net::kGcUs);
+  ASSERT_TRUE(trainer_.Start().ok());
+  migrator.Start();
+  sim_.RunUntil(0.5 * kHour);  // Stop before the first hourly tick.
+  migrator.Stop();
+  trainer_.Stop();
+  const auto report = migrator.GetReport();
+  EXPECT_GT(report.fleet_cost, 0);
+  EXPECT_NEAR(report.fleet_cost, report.static_cost, 1e-12);
+}
+
+}  // namespace
+}  // namespace hivesim::core

@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+#include "net/network.h"
+#include "net/profiler.h"
+#include "net/profiles.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace hivesim::net {
+namespace {
+
+/// Two-site fixture: a fast local site and a slow remote one.
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : network_(&sim_, &topo_) {}
+
+  void BuildTwoSites(double local_gbps = 10, double wan_mbps = 100,
+                     double wan_rtt_ms = 100) {
+    a_ = topo_.AddSite("a", Provider::kGoogleCloud, Continent::kUs);
+    b_ = topo_.AddSite("b", Provider::kGoogleCloud, Continent::kEu);
+    topo_.SetPath(a_, a_, GbpsToBytesPerSec(local_gbps), MsToSec(1));
+    topo_.SetPath(b_, b_, GbpsToBytesPerSec(local_gbps), MsToSec(1));
+    topo_.SetPath(a_, b_, MbpsToBytesPerSec(wan_mbps), MsToSec(wan_rtt_ms));
+    n0_ = topo_.AddNode(a_);
+    n1_ = topo_.AddNode(a_);
+    n2_ = topo_.AddNode(b_);
+  }
+
+  sim::Simulator sim_;
+  Topology topo_;
+  Network network_;
+  SiteId a_ = 0, b_ = 0;
+  NodeId n0_ = 0, n1_ = 0, n2_ = 0;
+};
+
+TEST_F(NetworkTest, SingleFlowUsesFullPath) {
+  BuildTwoSites();
+  bool done = false;
+  double done_at = -1;
+  // 125 MB over a 10 Gb/s local path = 0.1 s.
+  ASSERT_TRUE(network_
+                  .StartFlow(n0_, n1_, 125 * kMB,
+                             [&] {
+                               done = true;
+                               done_at = sim_.Now();
+                             })
+                  .ok());
+  sim_.Run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(done_at, 0.1, 1e-6);
+}
+
+TEST_F(NetworkTest, TwoFlowsShareLinkFairly) {
+  BuildTwoSites();
+  int completed = 0;
+  double last = 0;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(network_
+                    .StartFlow(n0_, n1_, 125 * kMB,
+                               [&] {
+                                 ++completed;
+                                 last = sim_.Now();
+                               })
+                    .ok());
+  }
+  sim_.Run();
+  EXPECT_EQ(completed, 2);
+  // Two equal flows sharing 10 Gb/s finish together at 0.2 s.
+  EXPECT_NEAR(last, 0.2, 1e-6);
+}
+
+TEST_F(NetworkTest, WanFlowLimitedByPathBandwidth) {
+  BuildTwoSites(/*local_gbps=*/10, /*wan_mbps=*/100, /*wan_rtt_ms=*/1);
+  double done_at = -1;
+  // 12.5 MB at 100 Mb/s = 1 s.
+  ASSERT_TRUE(
+      network_.StartFlow(n0_, n2_, 12.5 * kMB, [&] { done_at = sim_.Now(); })
+          .ok());
+  sim_.Run();
+  EXPECT_NEAR(done_at, 1.0, 1e-6);
+}
+
+TEST_F(NetworkTest, TcpWindowCapsHighRttFlow) {
+  // 1 MB window at 200 ms RTT caps a stream at 5 MB/s = 40 Mb/s even
+  // though the path carries 1000 Mb/s.
+  a_ = topo_.AddSite("a", Provider::kOnPremise, Continent::kEu);
+  b_ = topo_.AddSite("b", Provider::kGoogleCloud, Continent::kUs);
+  topo_.SetPath(a_, b_, MbpsToBytesPerSec(1000), MsToSec(200));
+  NodeNetConfig small;
+  small.tcp_window_bytes = 1e6;
+  n0_ = topo_.AddNode(a_, small);
+  n2_ = topo_.AddNode(b_);
+  double done_at = -1;
+  ASSERT_TRUE(
+      network_.StartFlow(n0_, n2_, 5 * kMB, [&] { done_at = sim_.Now(); })
+          .ok());
+  sim_.Run();
+  EXPECT_NEAR(done_at, 1.0, 1e-6);
+}
+
+TEST_F(NetworkTest, MultiStreamRaisesWindowCap) {
+  a_ = topo_.AddSite("a", Provider::kOnPremise, Continent::kEu);
+  b_ = topo_.AddSite("b", Provider::kGoogleCloud, Continent::kUs);
+  topo_.SetPath(a_, b_, MbpsToBytesPerSec(1000), MsToSec(200));
+  NodeNetConfig small;
+  small.tcp_window_bytes = 1e6;
+  n0_ = topo_.AddNode(a_, small);
+  n2_ = topo_.AddNode(b_);
+  double done_at = -1;
+  FlowOptions opts;
+  opts.streams = 4;  // 4 x 5 MB/s = 20 MB/s.
+  ASSERT_TRUE(network_
+                  .StartFlow(n0_, n2_, 5 * kMB,
+                             [&] { done_at = sim_.Now(); }, opts)
+                  .ok());
+  sim_.Run();
+  EXPECT_NEAR(done_at, 0.25, 1e-6);
+}
+
+TEST_F(NetworkTest, AppRateCapRespected) {
+  BuildTwoSites();
+  FlowOptions opts;
+  opts.app_rate_cap_bps = 12.5 * kMB;  // 100 Mb/s serialization bound.
+  double done_at = -1;
+  ASSERT_TRUE(network_
+                  .StartFlow(n0_, n1_, 12.5 * kMB,
+                             [&] { done_at = sim_.Now(); }, opts)
+                  .ok());
+  sim_.Run();
+  EXPECT_NEAR(done_at, 1.0, 1e-6);
+}
+
+TEST_F(NetworkTest, ZeroByteFlowDeliversAfterHalfRtt) {
+  BuildTwoSites(10, 100, /*wan_rtt_ms=*/200);
+  double done_at = -1;
+  ASSERT_TRUE(
+      network_.StartFlow(n0_, n2_, 0, [&] { done_at = sim_.Now(); }).ok());
+  sim_.Run();
+  EXPECT_NEAR(done_at, 0.1, 1e-9);
+}
+
+TEST_F(NetworkTest, CancelStopsDeliveryAndKeepsPartialMeter) {
+  BuildTwoSites(/*local_gbps=*/10, /*wan_mbps=*/80, /*wan_rtt_ms=*/1);
+  bool done = false;
+  auto flow = network_.StartFlow(n0_, n2_, 100 * kMB, [&] { done = true; });
+  ASSERT_TRUE(flow.ok());
+  sim_.RunUntil(1.0);  // 10 MB/s for 1 s -> 10 MB delivered.
+  EXPECT_TRUE(network_.CancelFlow(*flow));
+  sim_.Run();
+  EXPECT_FALSE(done);
+  EXPECT_NEAR(network_.BytesBetweenNodes(n0_, n2_), 10 * kMB, kMB * 0.01);
+  EXPECT_FALSE(network_.CancelFlow(*flow));  // Already gone.
+}
+
+TEST_F(NetworkTest, MetersTrackNodeAndSiteTraffic) {
+  BuildTwoSites(10, 100, 1);
+  ASSERT_TRUE(network_.StartFlow(n0_, n2_, 10 * kMB, nullptr).ok());
+  ASSERT_TRUE(network_.StartFlow(n1_, n2_, 5 * kMB, nullptr).ok());
+  ASSERT_TRUE(network_.StartFlow(n0_, n1_, 2 * kMB, nullptr).ok());
+  sim_.Run();
+  EXPECT_NEAR(network_.NodeEgressBytes(n0_), 12 * kMB, 1.0);
+  EXPECT_NEAR(network_.NodeIngressBytes(n2_), 15 * kMB, 1.0);
+  EXPECT_NEAR(network_.BytesBetweenSites(a_, b_), 15 * kMB, 1.0);
+  EXPECT_NEAR(network_.BytesBetweenSites(a_, a_), 2 * kMB, 1.0);
+  EXPECT_NEAR(network_.BytesBetweenSites(b_, a_), 0, 1e-9);
+  network_.ResetMeters();
+  EXPECT_DOUBLE_EQ(network_.NodeEgressBytes(n0_), 0);
+}
+
+TEST_F(NetworkTest, PeakEgressRateRecorded) {
+  BuildTwoSites(10, 100, 1);
+  ASSERT_TRUE(network_.StartFlow(n0_, n1_, 125 * kMB, nullptr).ok());
+  sim_.Run();
+  EXPECT_NEAR(network_.NodePeakEgressRate(n0_), GbpsToBytesPerSec(10),
+              GbpsToBytesPerSec(0.01));
+}
+
+TEST_F(NetworkTest, InvalidEndpointsRejected) {
+  BuildTwoSites();
+  EXPECT_FALSE(network_.StartFlow(99, n1_, 1, nullptr).ok());
+  EXPECT_FALSE(network_.StartFlow(n0_, n1_, -5, nullptr).ok());
+}
+
+TEST_F(NetworkTest, BandwidthFreedWhenFlowFinishes) {
+  BuildTwoSites();
+  // Small flow finishes first; big flow then speeds up.
+  double small_done = -1, big_done = -1;
+  ASSERT_TRUE(network_
+                  .StartFlow(n0_, n1_, 125 * kMB,
+                             [&] { small_done = sim_.Now(); })
+                  .ok());
+  ASSERT_TRUE(network_
+                  .StartFlow(n1_, n0_, 250 * kMB,
+                             [&] { big_done = sim_.Now(); })
+                  .ok());
+  sim_.Run();
+  // Opposite directions on a full-duplex path: both run at 10 Gb/s.
+  EXPECT_NEAR(small_done, 0.1, 1e-6);
+  EXPECT_NEAR(big_done, 0.2, 1e-6);
+}
+
+TEST_F(NetworkTest, MessageDelayIsLatencyPlusSerialization) {
+  BuildTwoSites(10, /*wan_mbps=*/80, /*wan_rtt_ms=*/200);
+  // 1 MB at the single-stream cap (80 Mb/s = 10 MB/s) + RTT/2.
+  auto delay = network_.MessageDelay(n0_, n2_, 1 * kMB);
+  ASSERT_TRUE(delay.ok());
+  EXPECT_NEAR(*delay, 0.1 + 0.1, 1e-6);
+  double delivered_at = -1;
+  ASSERT_TRUE(network_
+                  .SendMessage(n0_, n2_, 1 * kMB,
+                               [&] { delivered_at = sim_.Now(); })
+                  .ok());
+  sim_.Run();
+  EXPECT_NEAR(delivered_at, 0.2, 1e-6);
+  // Message bytes are metered like any traffic.
+  EXPECT_NEAR(network_.BytesBetweenNodes(n0_, n2_), 1 * kMB, 1.0);
+}
+
+TEST_F(NetworkTest, RefreshAppliesLiveLinkDegradation) {
+  BuildTwoSites(/*local_gbps=*/10, /*wan_mbps=*/100, /*wan_rtt_ms=*/1);
+  double done_at = -1;
+  // 25 MB at 100 Mb/s would take 2 s...
+  ASSERT_TRUE(
+      network_.StartFlow(n0_, n2_, 25 * kMB, [&] { done_at = sim_.Now(); })
+          .ok());
+  sim_.RunUntil(1.0);  // Half delivered.
+  // ...but the WAN degrades to 25 Mb/s at t=1 (e.g. congestion event).
+  topo_.SetPath(a_, b_, MbpsToBytesPerSec(25), MsToSec(1));
+  network_.Refresh();
+  sim_.Run();
+  // Remaining 12.5 MB at 25 Mb/s = 4 s more.
+  EXPECT_NEAR(done_at, 5.0, 0.01);
+}
+
+TEST_F(NetworkTest, RefreshAppliesLinkRecoveryToo) {
+  BuildTwoSites(10, /*wan_mbps=*/25, /*wan_rtt_ms=*/1);
+  double done_at = -1;
+  ASSERT_TRUE(
+      network_.StartFlow(n0_, n2_, 25 * kMB, [&] { done_at = sim_.Now(); })
+          .ok());
+  sim_.RunUntil(4.0);  // 12.5 MB delivered at 25 Mb/s.
+  topo_.SetPath(a_, b_, MbpsToBytesPerSec(100), MsToSec(1));
+  network_.Refresh();
+  sim_.Run();
+  // The flow's stream cap was fixed at start (25 Mb/s): recovery cannot
+  // exceed the cap it negotiated, so it still finishes at 8 s.
+  EXPECT_NEAR(done_at, 8.0, 0.01);
+}
+
+// --- Topology ---
+
+TEST(TopologyTest, MissingPathIsNotFound) {
+  Topology t;
+  SiteId a = t.AddSite("a", Provider::kGoogleCloud, Continent::kUs);
+  SiteId b = t.AddSite("b", Provider::kGoogleCloud, Continent::kEu);
+  EXPECT_FALSE(t.PathBetween(a, b).ok());
+  t.SetPath(a, b, 100, 0.1);
+  EXPECT_TRUE(t.PathBetween(a, b).ok());
+  EXPECT_TRUE(t.PathBetween(b, a).ok());  // Symmetric.
+}
+
+TEST(TopologyTest, SingleStreamCapMinOfPathAndWindow) {
+  Topology t;
+  SiteId a = t.AddSite("a", Provider::kOnPremise, Continent::kEu);
+  SiteId b = t.AddSite("b", Provider::kGoogleCloud, Continent::kUs);
+  t.SetPath(a, b, MbpsToBytesPerSec(1000), MsToSec(100));
+  NodeNetConfig cfg;
+  cfg.tcp_window_bytes = 1e6;  // 1 MB / 0.1 s = 10 MB/s = 80 Mb/s.
+  NodeId n0 = t.AddNode(a, cfg);
+  NodeId n1 = t.AddNode(b);
+  auto cap = t.SingleStreamCap(n0, n1);
+  ASSERT_TRUE(cap.ok());
+  EXPECT_NEAR(BytesPerSecToMbps(*cap), 80, 0.1);
+  // The cloud node's big window makes the path the limit in reverse.
+  auto rcap = t.SingleStreamCap(n1, n0);
+  ASSERT_TRUE(rcap.ok());
+  EXPECT_NEAR(BytesPerSecToMbps(*rcap), 640, 0.1);  // 8 MB / 0.1 s.
+}
+
+// --- StandardWorld against the paper's tables ---
+
+class StandardWorldTest : public ::testing::Test {
+ protected:
+  StandardWorldTest()
+      : topo_(StandardWorld()), network_(&sim_, &topo_), profiler_(&network_) {
+    for (SiteId s = 0; s < kNumStandardSites; ++s) {
+      nodes_[s] = topo_.AddNode(
+          s, s == kOnPremEu ? OnPremNetConfig() : CloudVmNetConfig());
+    }
+  }
+
+  double IperfMbps(SiteId from, SiteId to, int streams = 1) {
+    auto r = profiler_.Iperf(nodes_[from], nodes_[to], 10.0, streams);
+    EXPECT_TRUE(r.ok());
+    return BytesPerSecToMbps(r.value_or(0));
+  }
+
+  sim::Simulator sim_;
+  Topology topo_;
+  Network network_;
+  Profiler profiler_;
+  NodeId nodes_[kNumStandardSites];
+};
+
+TEST_F(StandardWorldTest, Table3IntraZoneNearSevenGbps) {
+  EXPECT_NEAR(IperfMbps(kGcUs, kGcUs), 6900, 70);
+}
+
+TEST_F(StandardWorldTest, Table3TransatlanticSingleStream) {
+  EXPECT_NEAR(IperfMbps(kGcUs, kGcEu), 210, 10);
+}
+
+TEST_F(StandardWorldTest, Table3WorstLinkEuAsia) {
+  EXPECT_NEAR(IperfMbps(kGcEu, kGcAsia), 80, 5);
+  auto ping = profiler_.PingMs(nodes_[kGcEu], nodes_[kGcAsia]);
+  ASSERT_TRUE(ping.ok());
+  EXPECT_NEAR(*ping, 270, 1);
+}
+
+TEST_F(StandardWorldTest, Table4InterCloudGcAws) {
+  const double mbps = IperfMbps(kGcUs, kAwsUsWest);
+  EXPECT_GT(mbps, 1500);
+  EXPECT_LT(mbps, 1900);
+}
+
+TEST_F(StandardWorldTest, Table5OnPremSingleStreamToEuAndUs) {
+  // Paper: 0.45-0.55 Gb/s to the EU T4s; 50-80 Mb/s to the US.
+  const double eu = IperfMbps(kOnPremEu, kGcEu);
+  EXPECT_GT(eu, 450);
+  EXPECT_LT(eu, 560);
+  const double us = IperfMbps(kOnPremEu, kGcUs);
+  EXPECT_GT(us, 50);
+  EXPECT_LT(us, 80);
+}
+
+TEST_F(StandardWorldTest, Sec7MultiStreamReachesPhysicalCapacity) {
+  // 80 streams: ~6 Gb/s within the EU, ~4 Gb/s to the US (Section 7).
+  const double eu = IperfMbps(kOnPremEu, kGcEu, 80);
+  EXPECT_NEAR(eu, 6000, 100);
+  const double us = IperfMbps(kOnPremEu, kGcUs, 80);
+  EXPECT_NEAR(us, 4000, 100);
+}
+
+TEST_F(StandardWorldTest, EveryStandardSitePairHasAPath) {
+  for (SiteId a = 0; a < kNumStandardSites; ++a) {
+    for (SiteId b = 0; b < kNumStandardSites; ++b) {
+      EXPECT_TRUE(topo_.PathBetween(a, b).ok())
+          << topo_.site(a).name << " <-> " << topo_.site(b).name;
+    }
+  }
+}
+
+TEST_F(StandardWorldTest, ProviderAndContinentMetadata) {
+  EXPECT_EQ(topo_.site(kGcAus).continent, Continent::kAus);
+  EXPECT_EQ(topo_.site(kAwsUsWest).provider, Provider::kAws);
+  EXPECT_EQ(ProviderName(Provider::kLambdaLabs), "LambdaLabs");
+  EXPECT_EQ(ContinentName(Continent::kAsia), "ASIA");
+}
+
+}  // namespace
+}  // namespace hivesim::net

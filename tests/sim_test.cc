@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace hivesim::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+  EXPECT_EQ(sim.events_fired(), 3u);
+}
+
+TEST(SimulatorTest, SameTimeEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.Schedule(2.0, [] {});
+  sim.Run();
+  bool fired = false;
+  sim.Schedule(-1.0, [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.0);
+}
+
+TEST(SimulatorTest, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.Schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // Double-cancel reports false.
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  EventId id = sim.Schedule(1.0, [] {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  std::function<void()> tick = [&] {
+    times.push_back(sim.Now());
+    if (times.size() < 5) sim.Schedule(1.5, tick);
+  };
+  sim.Schedule(0.0, tick);
+  sim.Run();
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_DOUBLE_EQ(times.back(), 6.0);
+}
+
+TEST(SimulatorTest, EventCanCancelAnotherPendingEvent) {
+  Simulator sim;
+  bool victim_fired = false;
+  EventId victim = sim.Schedule(2.0, [&] { victim_fired = true; });
+  sim.Schedule(1.0, [&] { EXPECT_TRUE(sim.Cancel(victim)); });
+  sim.Run();
+  EXPECT_FALSE(victim_fired);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(10.0);
+  EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsBeforeLaterEvents) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.Schedule(1.0, [&] { fired.push_back(1.0); });
+  sim.Schedule(5.0, [&] { fired.push_back(5.0); });
+  sim.RunUntil(3.0);
+  EXPECT_EQ(fired, std::vector<double>{1.0});
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+  sim.Run();
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 5.0}));
+}
+
+TEST(SimulatorTest, RunUntilIncludesBoundaryEvents) {
+  Simulator sim;
+  bool fired = false;
+  sim.Schedule(3.0, [&] { fired = true; });
+  sim.RunUntil(3.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, PendingCountsLiveEventsOnly) {
+  Simulator sim;
+  EventId a = sim.Schedule(1.0, [] {});
+  sim.Schedule(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, ManyEventsStressOrdering) {
+  Simulator sim;
+  double last = -1;
+  int count = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const double when = (i * 7919) % 1000 / 10.0;
+    sim.Schedule(when, [&, when] {
+      EXPECT_GE(when, last);
+      last = when;
+      ++count;
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(count, 5000);
+}
+
+TEST(SimulatorTest, ScheduleAtPastClampsToNow) {
+  Simulator sim;
+  sim.Schedule(4.0, [] {});
+  sim.Run();
+  double fired_at = -1;
+  sim.ScheduleAt(1.0, [&] { fired_at = sim.Now(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 4.0);
+}
+
+}  // namespace
+}  // namespace hivesim::sim

@@ -1,0 +1,288 @@
+// hivesim — command-line front end to the simulation library.
+//
+// Subcommands:
+//   list                       Models, VM types, and named experiments.
+//   run                        Run a named experiment series.
+//     --series A|B|C|D|lambda  (default A)
+//     --model CONV|RXLM|...    (default CONV)
+//     --tbs N                  (default 32768)
+//     --hours H                (default 2)
+//     --csv PATH / --json PATH Optional exports.
+//   fleet                      Run a custom fleet.
+//     --spec "gc-us:4,gc-eu:4" VM groups site:count (gc-us, gc-eu,
+//                              gc-asia, gc-aus, aws, azure, lambda).
+//     --model / --tbs / --hours as above.
+//   advise                     Rank training options by $/1M samples.
+//     --model M --min-sps S --sizes "2,4,8"
+//   profile                    iperf/ping between two sites.
+//     --from gc-us --to gc-eu --streams N
+//
+// Examples:
+//   hivesim run --series C --model RXLM
+//   hivesim fleet --spec "gc-us:2,aws:2" --model CONV --json /tmp/d2.json
+//   hivesim advise --model CONV --min-sps 250
+//   hivesim profile --from onprem --to gc-us --streams 80
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/flags.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+#include "common/units.h"
+#include "core/advisor.h"
+#include "core/catalog.h"
+#include "core/experiment.h"
+#include "core/granularity.h"
+#include "core/report.h"
+#include "net/profiler.h"
+#include "net/profiles.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace hivesim;
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+const std::map<std::string, net::SiteId>& SiteAliases() {
+  static const auto& aliases = *new std::map<std::string, net::SiteId>{
+      {"gc-us", net::kGcUs},     {"gc-eu", net::kGcEu},
+      {"gc-asia", net::kGcAsia}, {"gc-aus", net::kGcAus},
+      {"aws", net::kAwsUsWest},  {"azure", net::kAzureUsSouth},
+      {"lambda", net::kLambdaUsWest}, {"onprem", net::kOnPremEu},
+  };
+  return aliases;
+}
+
+Result<core::VmGroup> GroupFor(const std::string& site_alias, int count) {
+  auto it = SiteAliases().find(site_alias);
+  if (it == SiteAliases().end()) {
+    return Status::InvalidArgument(StrCat("unknown site '", site_alias,
+                                          "'; see `hivesim list`"));
+  }
+  switch (it->second) {
+    case net::kAwsUsWest:
+      return core::AwsT4s(count);
+    case net::kAzureUsSouth:
+      return core::AzureT4s(count);
+    case net::kLambdaUsWest:
+      return core::LambdaA10s(count);
+    case net::kOnPremEu:
+      return Status::InvalidArgument(
+          "on-prem machines are singletons; use the E/F series");
+    default:
+      return core::GcT4s(count, it->second);
+  }
+}
+
+Result<core::ClusterSpec> ParseFleetSpec(const std::string& spec) {
+  core::ClusterSpec cluster;
+  for (const std::string& part : StrSplit(spec, ',')) {
+    const auto fields = StrSplit(part, ':');
+    if (fields.size() != 2) {
+      return Status::InvalidArgument(
+          StrCat("bad group '", part, "', want site:count"));
+    }
+    const int count = std::atoi(fields[1].c_str());
+    if (count <= 0) {
+      return Status::InvalidArgument(StrCat("bad count in '", part, "'"));
+    }
+    core::VmGroup group;
+    HIVESIM_ASSIGN_OR_RETURN(group, GroupFor(fields[0], count));
+    cluster.groups.push_back(group);
+  }
+  if (cluster.groups.empty()) {
+    return Status::InvalidArgument("empty fleet spec");
+  }
+  return cluster;
+}
+
+Result<std::vector<core::NamedExperiment>> SeriesFor(
+    const std::string& name) {
+  if (name == "A") return core::ASeries();
+  if (name == "B") return core::BSeries();
+  if (name == "C") return core::CSeries();
+  if (name == "D") return core::DSeries();
+  if (name == "lambda") return core::LambdaSeries();
+  return Status::InvalidArgument(
+      StrCat("unknown series '", name, "' (A, B, C, D, lambda)"));
+}
+
+int CmdList() {
+  std::cout << "Models:\n";
+  TableWriter models_table({"Name", "Full name", "Domain", "Params"});
+  for (int m = 0; m < models::kNumModels; ++m) {
+    const auto& spec = models::GetModelSpec(static_cast<models::ModelId>(m));
+    models_table.AddRow({std::string(spec.name), std::string(spec.full_name),
+                         std::string(models::DomainName(spec.domain)),
+                         StrFormat("%.1fM", spec.params / 1e6)});
+  }
+  models_table.Print(std::cout);
+
+  std::cout << "\nSites (for --spec / --from / --to):\n  ";
+  for (const auto& [alias, site] : SiteAliases()) std::cout << alias << " ";
+  std::cout << "\n\nExperiment series: A (intra-zone), B (transatlantic), "
+               "C (intercontinental), D (multi-cloud), lambda (A10s)\n";
+  return 0;
+}
+
+int CmdRun(const FlagSet& flags) {
+  auto series = SeriesFor(flags.GetString("series", "A"));
+  if (!series.ok()) return Fail(series.status());
+  auto model = models::ParseModelId(flags.GetString("model", "CONV"));
+  if (!model.ok()) return Fail(model.status());
+  auto tbs = flags.GetInt("tbs", 32768);
+  if (!tbs.ok()) return Fail(tbs.status());
+  auto hours = flags.GetDouble("hours", 2.0);
+  if (!hours.ok()) return Fail(hours.status());
+
+  core::ReportBuilder report(
+      StrCat("series ", flags.GetString("series", "A"), " / ",
+             models::ModelName(*model)));
+  for (const auto& experiment : *series) {
+    core::ExperimentConfig config;
+    config.model = *model;
+    config.target_batch_size = *tbs;
+    config.duration_sec = *hours * kHour;
+    auto result = core::RunHivemindExperiment(experiment.cluster, config);
+    if (!result.ok()) {
+      std::cerr << experiment.name << ": " << result.status().ToString()
+                << "\n";
+      continue;
+    }
+    report.Add(experiment.name, std::move(*result));
+  }
+  report.PrintTable(std::cout);
+
+  const std::string csv = flags.GetString("csv", "");
+  if (!csv.empty() && !report.WriteCsv(csv)) {
+    return Fail(Status::IOError(StrCat("cannot write ", csv)));
+  }
+  const std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    f << report.ToJson() << "\n";
+    if (!f) return Fail(Status::IOError(StrCat("cannot write ", json_path)));
+  }
+  return 0;
+}
+
+int CmdFleet(const FlagSet& flags) {
+  auto cluster = ParseFleetSpec(flags.GetString("spec", "gc-us:8"));
+  if (!cluster.ok()) return Fail(cluster.status());
+  auto model = models::ParseModelId(flags.GetString("model", "CONV"));
+  if (!model.ok()) return Fail(model.status());
+  auto tbs = flags.GetInt("tbs", 32768);
+  if (!tbs.ok()) return Fail(tbs.status());
+  auto hours = flags.GetDouble("hours", 2.0);
+  if (!hours.ok()) return Fail(hours.status());
+
+  core::ExperimentConfig config;
+  config.model = *model;
+  config.target_batch_size = *tbs;
+  config.duration_sec = *hours * kHour;
+  auto result = core::RunHivemindExperiment(*cluster, config);
+  if (!result.ok()) return Fail(result.status());
+
+  core::ReportBuilder report(
+      StrCat("fleet ", flags.GetString("spec", "gc-us:8")));
+  const double granularity = result->train.granularity;
+  report.Add(flags.GetString("spec", "gc-us:8"), std::move(*result));
+  report.PrintTable(std::cout);
+  std::cout << "Scaling outlook: "
+            << core::SuitabilityAdvice(
+                   core::ClassifyGranularity(granularity))
+            << "\n";
+  const std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    f << report.ToJson() << "\n";
+    if (!f) return Fail(Status::IOError(StrCat("cannot write ", json_path)));
+  }
+  return 0;
+}
+
+int CmdAdvise(const FlagSet& flags) {
+  core::AdvisorRequest request;
+  auto model = models::ParseModelId(flags.GetString("model", "CONV"));
+  if (!model.ok()) return Fail(model.status());
+  request.model = *model;
+  auto min_sps = flags.GetDouble("min-sps", 0.0);
+  if (!min_sps.ok()) return Fail(min_sps.status());
+  request.min_throughput_sps = *min_sps;
+  request.fleet_sizes.clear();
+  for (const std::string& size :
+       StrSplit(flags.GetString("sizes", "2,4,8"), ',')) {
+    request.fleet_sizes.push_back(std::atoi(size.c_str()));
+  }
+  auto options = core::RankTrainingOptions(request);
+  if (!options.ok()) return Fail(options.status());
+
+  TableWriter table({"Setup", "SPS", "$/h", "$/1M", "Meets target"});
+  for (const auto& option : *options) {
+    if (option.throughput_sps <= 0) continue;
+    table.AddRow({option.description,
+                  StrFormat("%.1f", option.throughput_sps),
+                  StrFormat("%.2f", option.cost_per_hour),
+                  StrFormat("%.2f", option.cost_per_million),
+                  option.meets_target ? "yes" : "no"});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdProfile(const FlagSet& flags) {
+  const auto& aliases = SiteAliases();
+  auto from = aliases.find(flags.GetString("from", "gc-us"));
+  auto to = aliases.find(flags.GetString("to", "gc-eu"));
+  if (from == aliases.end() || to == aliases.end()) {
+    return Fail(Status::InvalidArgument("unknown --from/--to site"));
+  }
+  auto streams = flags.GetInt("streams", 1);
+  if (!streams.ok()) return Fail(streams.status());
+
+  sim::Simulator sim;
+  net::Topology topo = net::StandardWorld();
+  net::Network network(&sim, &topo);
+  net::Profiler profiler(&network);
+  const net::NodeId src =
+      topo.AddNode(from->second, from->second == net::kOnPremEu
+                                     ? net::OnPremNetConfig()
+                                     : net::CloudVmNetConfig());
+  const net::NodeId dst = topo.AddNode(to->second, net::CloudVmNetConfig());
+  auto bps = profiler.Iperf(src, dst, 10.0, *streams);
+  if (!bps.ok()) return Fail(bps.status());
+  auto ping = profiler.PingMs(src, dst);
+  if (!ping.ok()) return Fail(ping.status());
+  std::cout << from->first << " -> " << to->first << " (" << *streams
+            << (*streams == 1 ? " stream" : " streams")
+            << "): " << FormatRate(*bps) << ", ping "
+            << StrFormat("%.1f ms", *ping) << "\n";
+  return 0;
+}
+
+int Usage() {
+  std::cout << "usage: hivesim <list|run|fleet|advise|profile> [--flags]\n"
+               "See the header of tools/hivesim_cli.cc for details.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+  if (flags.positional().empty()) return Usage();
+  const std::string& command = flags.positional().front();
+  if (command == "list") return CmdList();
+  if (command == "run") return CmdRun(flags);
+  if (command == "fleet") return CmdFleet(flags);
+  if (command == "advise") return CmdAdvise(flags);
+  if (command == "profile") return CmdProfile(flags);
+  return Usage();
+}
