@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_allreduce.dir/bench_ablation_allreduce.cc.o"
+  "CMakeFiles/bench_ablation_allreduce.dir/bench_ablation_allreduce.cc.o.d"
+  "bench_ablation_allreduce"
+  "bench_ablation_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

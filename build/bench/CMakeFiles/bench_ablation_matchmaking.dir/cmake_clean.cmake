@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_matchmaking.dir/bench_ablation_matchmaking.cc.o"
+  "CMakeFiles/bench_ablation_matchmaking.dir/bench_ablation_matchmaking.cc.o.d"
+  "bench_ablation_matchmaking"
+  "bench_ablation_matchmaking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_matchmaking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

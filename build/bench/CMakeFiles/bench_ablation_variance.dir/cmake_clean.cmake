@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_variance.dir/bench_ablation_variance.cc.o"
+  "CMakeFiles/bench_ablation_variance.dir/bench_ablation_variance.cc.o.d"
+  "bench_ablation_variance"
+  "bench_ablation_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_multicloud.dir/bench_fig10_multicloud.cc.o"
+  "CMakeFiles/bench_fig10_multicloud.dir/bench_fig10_multicloud.cc.o.d"
+  "bench_fig10_multicloud"
+  "bench_fig10_multicloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_multicloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

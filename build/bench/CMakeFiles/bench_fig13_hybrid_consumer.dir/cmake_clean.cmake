@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_hybrid_consumer.dir/bench_fig13_hybrid_consumer.cc.o"
+  "CMakeFiles/bench_fig13_hybrid_consumer.dir/bench_fig13_hybrid_consumer.cc.o.d"
+  "bench_fig13_hybrid_consumer"
+  "bench_fig13_hybrid_consumer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_hybrid_consumer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

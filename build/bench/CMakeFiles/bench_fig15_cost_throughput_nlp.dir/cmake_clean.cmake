@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_cost_throughput_nlp.dir/bench_fig15_cost_throughput_nlp.cc.o"
+  "CMakeFiles/bench_fig15_cost_throughput_nlp.dir/bench_fig15_cost_throughput_nlp.cc.o.d"
+  "bench_fig15_cost_throughput_nlp"
+  "bench_fig15_cost_throughput_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_cost_throughput_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_whisper_tbs.dir/bench_fig16_whisper_tbs.cc.o"
+  "CMakeFiles/bench_fig16_whisper_tbs.dir/bench_fig16_whisper_tbs.cc.o.d"
+  "bench_fig16_whisper_tbs"
+  "bench_fig16_whisper_tbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_whisper_tbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_cost_throughput_asr.dir/bench_fig17_cost_throughput_asr.cc.o"
+  "CMakeFiles/bench_fig17_cost_throughput_asr.dir/bench_fig17_cost_throughput_asr.cc.o.d"
+  "bench_fig17_cost_throughput_asr"
+  "bench_fig17_cost_throughput_asr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_cost_throughput_asr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_cost_throughput_cv.dir/bench_fig1_cost_throughput_cv.cc.o"
+  "CMakeFiles/bench_fig1_cost_throughput_cv.dir/bench_fig1_cost_throughput_cv.cc.o.d"
+  "bench_fig1_cost_throughput_cv"
+  "bench_fig1_cost_throughput_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_cost_throughput_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_hivemind_penalty.dir/bench_fig2_hivemind_penalty.cc.o"
+  "CMakeFiles/bench_fig2_hivemind_penalty.dir/bench_fig2_hivemind_penalty.cc.o.d"
+  "bench_fig2_hivemind_penalty"
+  "bench_fig2_hivemind_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_hivemind_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

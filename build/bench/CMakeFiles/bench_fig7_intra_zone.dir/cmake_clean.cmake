@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_intra_zone.dir/bench_fig7_intra_zone.cc.o"
+  "CMakeFiles/bench_fig7_intra_zone.dir/bench_fig7_intra_zone.cc.o.d"
+  "bench_fig7_intra_zone"
+  "bench_fig7_intra_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_intra_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

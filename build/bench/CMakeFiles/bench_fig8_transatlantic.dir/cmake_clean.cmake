@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_transatlantic.dir/bench_fig8_transatlantic.cc.o"
+  "CMakeFiles/bench_fig8_transatlantic.dir/bench_fig8_transatlantic.cc.o.d"
+  "bench_fig8_transatlantic"
+  "bench_fig8_transatlantic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_transatlantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_intercontinental.dir/bench_fig9_intercontinental.cc.o"
+  "CMakeFiles/bench_fig9_intercontinental.dir/bench_fig9_intercontinental.cc.o.d"
+  "bench_fig9_intercontinental"
+  "bench_fig9_intercontinental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_intercontinental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

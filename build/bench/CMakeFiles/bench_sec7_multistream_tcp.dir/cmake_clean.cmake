@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_multistream_tcp.dir/bench_sec7_multistream_tcp.cc.o"
+  "CMakeFiles/bench_sec7_multistream_tcp.dir/bench_sec7_multistream_tcp.cc.o.d"
+  "bench_sec7_multistream_tcp"
+  "bench_sec7_multistream_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_multistream_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_spot_interruptions.dir/bench_sec7_spot_interruptions.cc.o"
+  "CMakeFiles/bench_sec7_spot_interruptions.dir/bench_sec7_spot_interruptions.cc.o.d"
+  "bench_sec7_spot_interruptions"
+  "bench_sec7_spot_interruptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_spot_interruptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_pricing.dir/bench_table1_pricing.cc.o"
+  "CMakeFiles/bench_table1_pricing.dir/bench_table1_pricing.cc.o.d"
+  "bench_table1_pricing"
+  "bench_table1_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

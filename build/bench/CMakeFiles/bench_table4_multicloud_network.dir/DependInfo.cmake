@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_multicloud_network.cc" "bench/CMakeFiles/bench_table4_multicloud_network.dir/bench_table4_multicloud_network.cc.o" "gcc" "bench/CMakeFiles/bench_table4_multicloud_network.dir/bench_table4_multicloud_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/hivesim_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hivesim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/hivesim_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/hivemind/CMakeFiles/hivesim_hivemind.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/hivesim_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hivesim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/hivesim_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hivesim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hivesim_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/hivesim_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/hivesim_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hivesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hivesim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

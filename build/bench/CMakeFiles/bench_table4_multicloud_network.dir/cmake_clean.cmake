@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_multicloud_network.dir/bench_table4_multicloud_network.cc.o"
+  "CMakeFiles/bench_table4_multicloud_network.dir/bench_table4_multicloud_network.cc.o.d"
+  "bench_table4_multicloud_network"
+  "bench_table4_multicloud_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_multicloud_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

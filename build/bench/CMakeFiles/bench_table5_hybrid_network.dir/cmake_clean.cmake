@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_hybrid_network.dir/bench_table5_hybrid_network.cc.o"
+  "CMakeFiles/bench_table5_hybrid_network.dir/bench_table5_hybrid_network.cc.o.d"
+  "bench_table5_hybrid_network"
+  "bench_table5_hybrid_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_hybrid_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

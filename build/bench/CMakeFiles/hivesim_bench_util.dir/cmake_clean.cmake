@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hivesim_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/hivesim_bench_util.dir/bench_util.cc.o.d"
+  "libhivesim_bench_util.a"
+  "libhivesim_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hivesim_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_planner.dir/geo_planner.cc.o"
+  "CMakeFiles/geo_planner.dir/geo_planner.cc.o.d"
+  "geo_planner"
+  "geo_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

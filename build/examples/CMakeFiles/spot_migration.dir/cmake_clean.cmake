@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spot_migration.dir/spot_migration.cc.o"
+  "CMakeFiles/spot_migration.dir/spot_migration.cc.o.d"
+  "spot_migration"
+  "spot_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spot_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baselines.cc" "src/baselines/CMakeFiles/hivesim_baselines.dir/baselines.cc.o" "gcc" "src/baselines/CMakeFiles/hivesim_baselines.dir/baselines.cc.o.d"
+  "/root/repo/src/baselines/ddp_sim.cc" "src/baselines/CMakeFiles/hivesim_baselines.dir/ddp_sim.cc.o" "gcc" "src/baselines/CMakeFiles/hivesim_baselines.dir/ddp_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hivesim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/hivesim_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hivesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/hivesim_compute.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

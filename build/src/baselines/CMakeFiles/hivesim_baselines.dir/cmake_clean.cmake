@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hivesim_baselines.dir/baselines.cc.o"
+  "CMakeFiles/hivesim_baselines.dir/baselines.cc.o.d"
+  "CMakeFiles/hivesim_baselines.dir/ddp_sim.cc.o"
+  "CMakeFiles/hivesim_baselines.dir/ddp_sim.cc.o.d"
+  "libhivesim_baselines.a"
+  "libhivesim_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hivesim_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

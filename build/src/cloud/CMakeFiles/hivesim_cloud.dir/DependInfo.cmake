@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/cost.cc" "src/cloud/CMakeFiles/hivesim_cloud.dir/cost.cc.o" "gcc" "src/cloud/CMakeFiles/hivesim_cloud.dir/cost.cc.o.d"
+  "/root/repo/src/cloud/pricing.cc" "src/cloud/CMakeFiles/hivesim_cloud.dir/pricing.cc.o" "gcc" "src/cloud/CMakeFiles/hivesim_cloud.dir/pricing.cc.o.d"
+  "/root/repo/src/cloud/provisioner.cc" "src/cloud/CMakeFiles/hivesim_cloud.dir/provisioner.cc.o" "gcc" "src/cloud/CMakeFiles/hivesim_cloud.dir/provisioner.cc.o.d"
+  "/root/repo/src/cloud/spot_market.cc" "src/cloud/CMakeFiles/hivesim_cloud.dir/spot_market.cc.o" "gcc" "src/cloud/CMakeFiles/hivesim_cloud.dir/spot_market.cc.o.d"
+  "/root/repo/src/cloud/vm.cc" "src/cloud/CMakeFiles/hivesim_cloud.dir/vm.cc.o" "gcc" "src/cloud/CMakeFiles/hivesim_cloud.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hivesim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/hivesim_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hivesim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hivesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

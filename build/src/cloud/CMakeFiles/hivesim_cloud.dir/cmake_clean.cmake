@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hivesim_cloud.dir/cost.cc.o"
+  "CMakeFiles/hivesim_cloud.dir/cost.cc.o.d"
+  "CMakeFiles/hivesim_cloud.dir/pricing.cc.o"
+  "CMakeFiles/hivesim_cloud.dir/pricing.cc.o.d"
+  "CMakeFiles/hivesim_cloud.dir/provisioner.cc.o"
+  "CMakeFiles/hivesim_cloud.dir/provisioner.cc.o.d"
+  "CMakeFiles/hivesim_cloud.dir/spot_market.cc.o"
+  "CMakeFiles/hivesim_cloud.dir/spot_market.cc.o.d"
+  "CMakeFiles/hivesim_cloud.dir/vm.cc.o"
+  "CMakeFiles/hivesim_cloud.dir/vm.cc.o.d"
+  "libhivesim_cloud.a"
+  "libhivesim_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hivesim_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

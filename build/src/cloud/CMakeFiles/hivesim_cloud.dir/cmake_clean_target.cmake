@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhivesim_cloud.a"
+)

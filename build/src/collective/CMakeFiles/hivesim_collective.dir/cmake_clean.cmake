@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hivesim_collective.dir/allreduce.cc.o"
+  "CMakeFiles/hivesim_collective.dir/allreduce.cc.o.d"
+  "libhivesim_collective.a"
+  "libhivesim_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hivesim_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

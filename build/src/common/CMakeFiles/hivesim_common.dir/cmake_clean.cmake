@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hivesim_common.dir/flags.cc.o"
+  "CMakeFiles/hivesim_common.dir/flags.cc.o.d"
+  "CMakeFiles/hivesim_common.dir/json.cc.o"
+  "CMakeFiles/hivesim_common.dir/json.cc.o.d"
+  "CMakeFiles/hivesim_common.dir/logging.cc.o"
+  "CMakeFiles/hivesim_common.dir/logging.cc.o.d"
+  "CMakeFiles/hivesim_common.dir/status.cc.o"
+  "CMakeFiles/hivesim_common.dir/status.cc.o.d"
+  "CMakeFiles/hivesim_common.dir/strings.cc.o"
+  "CMakeFiles/hivesim_common.dir/strings.cc.o.d"
+  "CMakeFiles/hivesim_common.dir/table_writer.cc.o"
+  "CMakeFiles/hivesim_common.dir/table_writer.cc.o.d"
+  "CMakeFiles/hivesim_common.dir/units.cc.o"
+  "CMakeFiles/hivesim_common.dir/units.cc.o.d"
+  "libhivesim_common.a"
+  "libhivesim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hivesim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

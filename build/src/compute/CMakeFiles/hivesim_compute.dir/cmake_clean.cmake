@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hivesim_compute.dir/gpu.cc.o"
+  "CMakeFiles/hivesim_compute.dir/gpu.cc.o.d"
+  "CMakeFiles/hivesim_compute.dir/host.cc.o"
+  "CMakeFiles/hivesim_compute.dir/host.cc.o.d"
+  "libhivesim_compute.a"
+  "libhivesim_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hivesim_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/hivesim_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/hivesim_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/catalog.cc" "src/core/CMakeFiles/hivesim_core.dir/catalog.cc.o" "gcc" "src/core/CMakeFiles/hivesim_core.dir/catalog.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/hivesim_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/hivesim_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/hivesim_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/hivesim_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/granularity.cc" "src/core/CMakeFiles/hivesim_core.dir/granularity.cc.o" "gcc" "src/core/CMakeFiles/hivesim_core.dir/granularity.cc.o.d"
+  "/root/repo/src/core/migrator.cc" "src/core/CMakeFiles/hivesim_core.dir/migrator.cc.o" "gcc" "src/core/CMakeFiles/hivesim_core.dir/migrator.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/core/CMakeFiles/hivesim_core.dir/predictor.cc.o" "gcc" "src/core/CMakeFiles/hivesim_core.dir/predictor.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/hivesim_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/hivesim_core.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hivesim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hivesim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/hivesim_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/hivesim_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/hivemind/CMakeFiles/hivesim_hivemind.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hivesim_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/hivesim_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hivesim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/hivesim_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/hivesim_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hivesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

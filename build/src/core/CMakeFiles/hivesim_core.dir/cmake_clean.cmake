@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hivesim_core.dir/advisor.cc.o"
+  "CMakeFiles/hivesim_core.dir/advisor.cc.o.d"
+  "CMakeFiles/hivesim_core.dir/catalog.cc.o"
+  "CMakeFiles/hivesim_core.dir/catalog.cc.o.d"
+  "CMakeFiles/hivesim_core.dir/cluster.cc.o"
+  "CMakeFiles/hivesim_core.dir/cluster.cc.o.d"
+  "CMakeFiles/hivesim_core.dir/experiment.cc.o"
+  "CMakeFiles/hivesim_core.dir/experiment.cc.o.d"
+  "CMakeFiles/hivesim_core.dir/granularity.cc.o"
+  "CMakeFiles/hivesim_core.dir/granularity.cc.o.d"
+  "CMakeFiles/hivesim_core.dir/migrator.cc.o"
+  "CMakeFiles/hivesim_core.dir/migrator.cc.o.d"
+  "CMakeFiles/hivesim_core.dir/predictor.cc.o"
+  "CMakeFiles/hivesim_core.dir/predictor.cc.o.d"
+  "CMakeFiles/hivesim_core.dir/report.cc.o"
+  "CMakeFiles/hivesim_core.dir/report.cc.o.d"
+  "libhivesim_core.a"
+  "libhivesim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hivesim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/loader.cc" "src/data/CMakeFiles/hivesim_data.dir/loader.cc.o" "gcc" "src/data/CMakeFiles/hivesim_data.dir/loader.cc.o.d"
+  "/root/repo/src/data/shard.cc" "src/data/CMakeFiles/hivesim_data.dir/shard.cc.o" "gcc" "src/data/CMakeFiles/hivesim_data.dir/shard.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/hivesim_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/hivesim_data.dir/synthetic.cc.o.d"
+  "/root/repo/src/data/tar.cc" "src/data/CMakeFiles/hivesim_data.dir/tar.cc.o" "gcc" "src/data/CMakeFiles/hivesim_data.dir/tar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hivesim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/hivesim_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/hivesim_compute.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

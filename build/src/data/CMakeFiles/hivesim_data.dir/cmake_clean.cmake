@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hivesim_data.dir/loader.cc.o"
+  "CMakeFiles/hivesim_data.dir/loader.cc.o.d"
+  "CMakeFiles/hivesim_data.dir/shard.cc.o"
+  "CMakeFiles/hivesim_data.dir/shard.cc.o.d"
+  "CMakeFiles/hivesim_data.dir/synthetic.cc.o"
+  "CMakeFiles/hivesim_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/hivesim_data.dir/tar.cc.o"
+  "CMakeFiles/hivesim_data.dir/tar.cc.o.d"
+  "libhivesim_data.a"
+  "libhivesim_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hivesim_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

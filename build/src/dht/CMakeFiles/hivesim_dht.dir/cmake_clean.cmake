@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hivesim_dht.dir/dht.cc.o"
+  "CMakeFiles/hivesim_dht.dir/dht.cc.o.d"
+  "libhivesim_dht.a"
+  "libhivesim_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hivesim_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

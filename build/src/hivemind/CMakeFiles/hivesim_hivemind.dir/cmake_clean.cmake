@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hivesim_hivemind.dir/matchmaking.cc.o"
+  "CMakeFiles/hivesim_hivemind.dir/matchmaking.cc.o.d"
+  "CMakeFiles/hivesim_hivemind.dir/monitor.cc.o"
+  "CMakeFiles/hivesim_hivemind.dir/monitor.cc.o.d"
+  "CMakeFiles/hivesim_hivemind.dir/progress_board.cc.o"
+  "CMakeFiles/hivesim_hivemind.dir/progress_board.cc.o.d"
+  "CMakeFiles/hivesim_hivemind.dir/trainer.cc.o"
+  "CMakeFiles/hivesim_hivemind.dir/trainer.cc.o.d"
+  "libhivesim_hivemind.a"
+  "libhivesim_hivemind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hivesim_hivemind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hivesim_models.dir/calibration.cc.o"
+  "CMakeFiles/hivesim_models.dir/calibration.cc.o.d"
+  "CMakeFiles/hivesim_models.dir/memory.cc.o"
+  "CMakeFiles/hivesim_models.dir/memory.cc.o.d"
+  "CMakeFiles/hivesim_models.dir/model_zoo.cc.o"
+  "CMakeFiles/hivesim_models.dir/model_zoo.cc.o.d"
+  "libhivesim_models.a"
+  "libhivesim_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hivesim_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/location.cc" "src/net/CMakeFiles/hivesim_net.dir/location.cc.o" "gcc" "src/net/CMakeFiles/hivesim_net.dir/location.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/hivesim_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/hivesim_net.dir/network.cc.o.d"
+  "/root/repo/src/net/profiler.cc" "src/net/CMakeFiles/hivesim_net.dir/profiler.cc.o" "gcc" "src/net/CMakeFiles/hivesim_net.dir/profiler.cc.o.d"
+  "/root/repo/src/net/profiles.cc" "src/net/CMakeFiles/hivesim_net.dir/profiles.cc.o" "gcc" "src/net/CMakeFiles/hivesim_net.dir/profiles.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/hivesim_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/hivesim_net.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hivesim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hivesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

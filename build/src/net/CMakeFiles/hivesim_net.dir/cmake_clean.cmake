@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hivesim_net.dir/location.cc.o"
+  "CMakeFiles/hivesim_net.dir/location.cc.o.d"
+  "CMakeFiles/hivesim_net.dir/network.cc.o"
+  "CMakeFiles/hivesim_net.dir/network.cc.o.d"
+  "CMakeFiles/hivesim_net.dir/profiler.cc.o"
+  "CMakeFiles/hivesim_net.dir/profiler.cc.o.d"
+  "CMakeFiles/hivesim_net.dir/profiles.cc.o"
+  "CMakeFiles/hivesim_net.dir/profiles.cc.o.d"
+  "CMakeFiles/hivesim_net.dir/topology.cc.o"
+  "CMakeFiles/hivesim_net.dir/topology.cc.o.d"
+  "libhivesim_net.a"
+  "libhivesim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hivesim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hivesim_sim.dir/simulator.cc.o"
+  "CMakeFiles/hivesim_sim.dir/simulator.cc.o.d"
+  "libhivesim_sim.a"
+  "libhivesim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hivesim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddp_sim_test.dir/ddp_sim_test.cc.o"
+  "CMakeFiles/ddp_sim_test.dir/ddp_sim_test.cc.o.d"
+  "ddp_sim_test"
+  "ddp_sim_test.pdb"
+  "ddp_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddp_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

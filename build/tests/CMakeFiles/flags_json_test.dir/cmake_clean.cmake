@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flags_json_test.dir/flags_json_test.cc.o"
+  "CMakeFiles/flags_json_test.dir/flags_json_test.cc.o.d"
+  "flags_json_test"
+  "flags_json_test.pdb"
+  "flags_json_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flags_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

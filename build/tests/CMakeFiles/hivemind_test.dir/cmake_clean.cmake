@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hivemind_test.dir/hivemind_test.cc.o"
+  "CMakeFiles/hivemind_test.dir/hivemind_test.cc.o.d"
+  "hivemind_test"
+  "hivemind_test.pdb"
+  "hivemind_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hivemind_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

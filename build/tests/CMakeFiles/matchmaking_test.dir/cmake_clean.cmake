@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matchmaking_test.dir/matchmaking_test.cc.o"
+  "CMakeFiles/matchmaking_test.dir/matchmaking_test.cc.o.d"
+  "matchmaking_test"
+  "matchmaking_test.pdb"
+  "matchmaking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matchmaking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrator_test.dir/migrator_test.cc.o"
+  "CMakeFiles/migrator_test.dir/migrator_test.cc.o.d"
+  "migrator_test"
+  "migrator_test.pdb"
+  "migrator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hivesim.dir/hivesim_cli.cc.o"
+  "CMakeFiles/hivesim.dir/hivesim_cli.cc.o.d"
+  "hivesim"
+  "hivesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hivesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
