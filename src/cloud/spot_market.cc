@@ -1,6 +1,7 @@
 #include "cloud/spot_market.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/units.h"
 
@@ -43,18 +44,33 @@ double SpotMarket::HazardAt(net::Continent continent, double now) const {
       kSecondsPerMonth;
   const double h = LocalHour(continent, now);
   const bool daytime = h >= kDayStartHour && h < kDayEndHour;
-  return daytime ? base * config_.daylight_multiplier : base;
+  double hazard = daytime ? base * config_.daylight_multiplier : base;
+  for (const HazardWindow& w : hazard_windows_) {
+    if (w.continent == continent && now >= w.start_sec && now < w.end_sec) {
+      hazard *= w.multiplier;
+    }
+  }
+  return hazard;
 }
 
 double SpotMarket::SampleInterruptionDelay(net::Continent continent,
                                            double now) {
+  // A zero base rate makes the hazard identically zero at every hour:
+  // return "never" up front instead of spinning through ~87,600 hourly
+  // segments (and burning one random draw per segment).
+  if (config_.base_monthly_interruption_rate <= 0) {
+    return std::numeric_limits<double>::infinity();
+  }
   // Piecewise-constant hazard: advance hour by hour, drawing an
-  // exponential within each segment.
+  // exponential within each segment. Segments whose hazard is zero (a
+  // window with multiplier 0) are skipped without consuming a draw.
   double t = now;
   for (int guard = 0; guard < 24 * 365 * 10; ++guard) {
     const double rate = HazardAt(continent, t);
-    const double draw = rng_.Exponential(rate);
-    if (draw <= kHour) return (t + draw) - now;
+    if (rate > 0) {
+      const double draw = rng_.Exponential(rate);
+      if (draw <= kHour) return (t + draw) - now;
+    }
     t += kHour;
   }
   return t - now;  // Effectively never (10 simulated years).

@@ -1,6 +1,8 @@
 #ifndef HIVESIM_CLOUD_SPOT_MARKET_H_
 #define HIVESIM_CLOUD_SPOT_MARKET_H_
 
+#include <vector>
+
 #include "common/rng.h"
 #include "net/location.h"
 
@@ -31,6 +33,19 @@ struct SpotMarketConfig {
   double diurnal_swing = 0.10;
 };
 
+/// A scripted hazard-rate override: between `start_sec` and `end_sec`
+/// the interruption hazard in `continent` is multiplied by `multiplier`
+/// (>1 models a capacity-reclamation storm, <1 a calm window, 0
+/// suppresses interruptions entirely). Overlapping windows compound.
+/// Used by the fault-injection subsystem (`faults::ChaosInjector`) to
+/// make Section 7 interruption storms a first-class scriptable input.
+struct HazardWindow {
+  net::Continent continent = net::Continent::kUs;
+  double start_sec = 0;
+  double end_sec = 0;
+  double multiplier = 1.0;
+};
+
 /// Stochastic model of spot VM interruptions, startup delays, and hourly
 /// price variation. All draws come from a deterministic seeded stream.
 class SpotMarket {
@@ -41,8 +56,22 @@ class SpotMarket {
   /// Samples the delay (seconds from `now`) until a spot VM in
   /// `continent` is interrupted. Simulation time 0 is 00:00 UTC; the
   /// hazard is a non-homogeneous Poisson process whose rate rises by
-  /// `daylight_multiplier` during the zone's local daytime.
+  /// `daylight_multiplier` during the zone's local daytime and by any
+  /// active `HazardWindow` multipliers. Returns +infinity ("never") when
+  /// the hazard is identically zero, without consuming random draws.
   double SampleInterruptionDelay(net::Continent continent, double now);
+
+  /// Registers a scripted hazard window. Windows are consulted by future
+  /// `SampleInterruptionDelay` calls (the piecewise-hourly sampler scans
+  /// forward through them), so storms must be registered before the VMs
+  /// they should affect draw their interruption times.
+  void AddHazardWindow(const HazardWindow& window) {
+    hazard_windows_.push_back(window);
+  }
+  void ClearHazardWindows() { hazard_windows_.clear(); }
+  const std::vector<HazardWindow>& hazard_windows() const {
+    return hazard_windows_;
+  }
 
   /// Samples the provisioning delay of a fresh VM.
   double SampleStartupDelay();
@@ -64,6 +93,7 @@ class SpotMarket {
 
   Rng rng_;
   SpotMarketConfig config_;
+  std::vector<HazardWindow> hazard_windows_;
 };
 
 }  // namespace hivesim::cloud

@@ -1,5 +1,7 @@
 #include "cloud/vm.h"
 
+#include <cmath>
+
 #include "common/units.h"
 
 namespace hivesim::cloud {
@@ -39,11 +41,15 @@ void VmInstance::EnterRunning() {
   if (config_.spot && config_.interruptible) {
     const double delay =
         market_->SampleInterruptionDelay(continent_, sim_->Now());
-    interruption_event_ = sim_->Schedule(delay, [this] {
-      has_interruption_event_ = false;
-      if (state_ == VmState::kRunning) EnterInterrupted();
-    });
-    has_interruption_event_ = true;
+    // An infinite delay means the market hazard is zero ("never"):
+    // scheduling it would park an event at t=inf in the queue.
+    if (std::isfinite(delay)) {
+      interruption_event_ = sim_->Schedule(delay, [this] {
+        has_interruption_event_ = false;
+        if (state_ == VmState::kRunning) EnterInterrupted();
+      });
+      has_interruption_event_ = true;
+    }
   }
   if (on_running) on_running();
 }

@@ -279,10 +279,17 @@ void Node::IterativeLookup(Key target, bool want_value,
     }
   }
 
-  // Shared stepper: issue queries to the alpha closest unqueried.
+  // Shared stepper: issue queries to the alpha closest unqueried. The
+  // body must not capture `step` strongly (the function would hold a
+  // shared_ptr to itself and leak); the kickoff event and each pending
+  // RPC callback own the strong references, so the stepper lives exactly
+  // as long as the lookup can still make progress.
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, state, finish, step] {
+  *step = [this, state, finish,
+           weak_step = std::weak_ptr<std::function<void()>>(step)] {
     if (state->finished) return;
+    auto step = weak_step.lock();
+    if (!step) return;
     int issued = 0;
     for (const auto& [dist, contact] : state->shortlist) {
       if (state->inflight + issued >= dht_->config().alpha) break;

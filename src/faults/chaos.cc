@@ -1,0 +1,249 @@
+#include "faults/chaos.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace hivesim::faults {
+
+ChaosSchedule& ChaosSchedule::SpotStorm(net::Continent continent,
+                                        double start_sec, double duration_sec,
+                                        double hazard_multiplier) {
+  spot_storms_.push_back(
+      {continent, start_sec, duration_sec, hazard_multiplier});
+  return *this;
+}
+
+ChaosSchedule& ChaosSchedule::DegradeWan(net::SiteId a, net::SiteId b,
+                                         double start_sec,
+                                         double duration_sec,
+                                         double bandwidth_factor,
+                                         double extra_rtt_sec) {
+  wan_events_.push_back(
+      {a, b, start_sec, duration_sec, bandwidth_factor, extra_rtt_sec});
+  return *this;
+}
+
+ChaosSchedule& ChaosSchedule::Partition(net::SiteId a, net::SiteId b,
+                                        double start_sec,
+                                        double duration_sec) {
+  return DegradeWan(a, b, start_sec, duration_sec, 0.0, 0.0);
+}
+
+ChaosSchedule& ChaosSchedule::CrashNode(net::NodeId node, double at_sec,
+                                        double restart_after_sec) {
+  crashes_.push_back({node, at_sec, restart_after_sec});
+  return *this;
+}
+
+ChaosSchedule& ChaosSchedule::CrashStorm(std::vector<net::NodeId> nodes,
+                                         double start_sec,
+                                         double duration_sec, int crashes,
+                                         double restart_after_sec) {
+  crash_storms_.push_back(
+      {std::move(nodes), start_sec, duration_sec, crashes,
+       restart_after_sec});
+  return *this;
+}
+
+Status ChaosSchedule::Validate() const {
+  for (const SpotStormEvent& s : spot_storms_) {
+    if (s.start_sec < 0 || s.duration_sec <= 0) {
+      return Status::InvalidArgument("spot storm needs a positive window");
+    }
+    if (s.hazard_multiplier < 0) {
+      return Status::InvalidArgument("hazard multiplier must be >= 0");
+    }
+  }
+  for (const WanEvent& w : wan_events_) {
+    if (w.start_sec < 0 || w.duration_sec <= 0) {
+      return Status::InvalidArgument("WAN event needs a positive window");
+    }
+    if (w.bandwidth_factor < 0 || w.bandwidth_factor > 1) {
+      return Status::InvalidArgument("bandwidth factor out of [0, 1]");
+    }
+    if (w.extra_rtt_sec < 0) {
+      return Status::InvalidArgument("extra RTT must be >= 0");
+    }
+  }
+  for (const NodeCrashEvent& c : crashes_) {
+    if (c.at_sec < 0) {
+      return Status::InvalidArgument("crash time must be >= 0");
+    }
+  }
+  for (const CrashStormEvent& s : crash_storms_) {
+    if (s.nodes.empty()) {
+      return Status::InvalidArgument("crash storm needs target nodes");
+    }
+    if (s.crashes < 1) {
+      return Status::InvalidArgument("crash storm needs >= 1 crash");
+    }
+    if (s.start_sec < 0 || s.duration_sec <= 0) {
+      return Status::InvalidArgument("crash storm needs a positive window");
+    }
+  }
+  return Status::OK();
+}
+
+ChaosInjector::ChaosInjector(sim::Simulator* sim, net::Topology* topology,
+                             net::Network* network, uint64_t seed)
+    : sim_(sim), topology_(topology), network_(network), rng_(seed) {}
+
+uint64_t ChaosInjector::PairKey(net::SiteId a, net::SiteId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+Status ChaosInjector::Arm(const ChaosSchedule& schedule) {
+  HIVESIM_RETURN_IF_ERROR(schedule.Validate());
+  if (!schedule.spot_storms().empty() && market_ == nullptr) {
+    return Status::FailedPrecondition(
+        "schedule has spot storms but no SpotMarket is attached");
+  }
+
+  // Spot storms become hazard windows immediately: the market's
+  // piecewise sampler scans forward through them, so VMs provisioned
+  // after Arm() already carry the storm in their interruption draws.
+  for (const SpotStormEvent& s : schedule.spot_storms()) {
+    market_->AddHazardWindow({s.continent, s.start_sec,
+                              s.start_sec + s.duration_sec,
+                              s.hazard_multiplier});
+    ++stats_.spot_storms;
+    AddTrace(StrFormat("spot-storm armed: %s x%.1f [%.0fs, %.0fs)",
+                       std::string(net::ContinentName(s.continent)).c_str(),
+                       s.hazard_multiplier, s.start_sec,
+                       s.start_sec + s.duration_sec));
+  }
+
+  for (const WanEvent& w : schedule.wan_events()) {
+    const int id = next_wan_id_++;
+    sim_->ScheduleAt(w.start_sec, [this, id, w] { ApplyWan(id, w); });
+    sim_->ScheduleAt(w.start_sec + w.duration_sec,
+                     [this, id, w] { RestoreWan(id, w); });
+  }
+
+  for (const NodeCrashEvent& c : schedule.crashes()) {
+    sim_->ScheduleAt(c.at_sec, [this, c] {
+      Crash(c.node, c.restart_after_sec);
+    });
+  }
+
+  // Crash storms expand deterministically from the injector's seeded
+  // stream at Arm() time.
+  for (const CrashStormEvent& s : schedule.crash_storms()) {
+    for (int i = 0; i < s.crashes; ++i) {
+      const double at = s.start_sec + rng_.Uniform(0, s.duration_sec);
+      const net::NodeId node = s.nodes[static_cast<size_t>(rng_.UniformInt(
+          0, static_cast<int64_t>(s.nodes.size()) - 1))];
+      sim_->ScheduleAt(at, [this, node, restart = s.restart_after_sec] {
+        Crash(node, restart);
+      });
+    }
+  }
+  return Status::OK();
+}
+
+void ChaosInjector::ApplyWan(int id, const WanEvent& event) {
+  const uint64_t key = PairKey(event.a, event.b);
+  auto path = topology_->PathBetween(event.a, event.b);
+  if (!path.ok()) {
+    AddTrace(StrFormat("wan event skipped: no path %u<->%u", event.a,
+                       event.b));
+    return;
+  }
+  PairState& state = wan_state_[key];
+  if (state.active.empty()) state.original = *path;
+  state.active.push_back({id, event.bandwidth_factor, event.extra_rtt_sec});
+  ReapplyPair(key, event.a, event.b);
+  ++stats_.wan_degradations;
+  AddTrace(StrFormat(
+      event.bandwidth_factor == 0 ? "partition %u<->%u"
+                                  : "wan degrade %u<->%u x%.2f +%.0fms",
+      event.a, event.b, event.bandwidth_factor,
+      event.extra_rtt_sec * 1000));
+}
+
+void ChaosInjector::RestoreWan(int id, const WanEvent& event) {
+  const uint64_t key = PairKey(event.a, event.b);
+  auto it = wan_state_.find(key);
+  if (it == wan_state_.end()) return;
+  auto& active = it->second.active;
+  auto match = std::find_if(active.begin(), active.end(),
+                            [id](const ActiveWan& w) { return w.id == id; });
+  if (match == active.end()) return;
+  active.erase(match);
+  ReapplyPair(key, event.a, event.b);
+  if (active.empty()) wan_state_.erase(it);
+  ++stats_.wan_recoveries;
+  AddTrace(StrFormat("wan recover %u<->%u", event.a, event.b));
+}
+
+void ChaosInjector::ReapplyPair(uint64_t key, net::SiteId a, net::SiteId b) {
+  const PairState& state = wan_state_.at(key);
+  double bandwidth = state.original.bandwidth_bps;
+  double rtt = state.original.rtt_sec;
+  double single_stream = state.original.single_stream_bps;
+  for (const ActiveWan& w : state.active) {
+    bandwidth *= w.bandwidth_factor;
+    single_stream *= w.bandwidth_factor;
+    rtt += w.extra_rtt_sec;
+  }
+  topology_->SetPath(a, b, bandwidth, rtt, single_stream);
+  network_->Refresh();
+}
+
+void ChaosInjector::Crash(net::NodeId node, double restart_after_sec) {
+  ++stats_.crashes;
+  AddTrace(StrFormat("crash node %u", node));
+  if (dht_ != nullptr) {
+    if (dht::Node* n = dht_->NodeAt(node)) n->GoOffline();
+  }
+  if (trainer_ != nullptr) {
+    auto spec = trainer_->PeerSpecOf(node);
+    if (spec.ok()) {
+      crashed_specs_[node] = *spec;
+      trainer_->RemovePeer(node).ok();
+    }
+  }
+  if (restart_after_sec >= 0) {
+    sim_->Schedule(restart_after_sec, [this, node] { Restart(node); });
+  }
+}
+
+void ChaosInjector::Restart(net::NodeId node) {
+  ++stats_.restarts;
+  AddTrace(StrFormat("restart node %u", node));
+  if (dht_ != nullptr) {
+    if (dht::Node* n = dht_->NodeAt(node)) n->GoOnline();
+  }
+  if (trainer_ != nullptr) {
+    auto it = crashed_specs_.find(node);
+    if (it != crashed_specs_.end()) {
+      trainer_->JoinPeer(it->second).ok();
+      crashed_specs_.erase(it);
+    }
+  }
+}
+
+void ChaosInjector::AddTrace(std::string event) {
+  trace_.push_back({sim_->Now(), std::move(event)});
+}
+
+uint64_t ChaosInjector::TraceFingerprint() const {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a.
+  auto mix = [&h](const void* data, size_t len) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const TraceEntry& e : trace_) {
+    mix(&e.at_sec, sizeof(e.at_sec));
+    mix(e.event.data(), e.event.size());
+  }
+  return h;
+}
+
+}  // namespace hivesim::faults

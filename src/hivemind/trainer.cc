@@ -1,6 +1,8 @@
 #include "hivemind/trainer.h"
 
 #include <algorithm>
+#include <cmath>
+#include <numeric>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -22,6 +24,17 @@ Status ValidateTrainerConfig(const TrainerConfig& config) {
       config.matchmaking_jitter_frac > 2.0) {
     return Status::InvalidArgument(
         "matchmaking jitter fraction out of [0, 2]");
+  }
+  if (config.averaging_retry_base_sec < 0 ||
+      config.averaging_retry_max_sec < config.averaging_retry_base_sec) {
+    return Status::InvalidArgument(
+        "averaging retry backoff must satisfy 0 <= base <= max");
+  }
+  if (config.averaging_round_timeout_sec < 0) {
+    return Status::InvalidArgument("averaging round timeout must be >= 0");
+  }
+  if (config.averaging_max_retries < 0) {
+    return Status::InvalidArgument("averaging max retries must be >= 0");
   }
   return Status::OK();
 }
@@ -77,6 +90,7 @@ void Trainer::Stop() {
     network_->simulator().Cancel(averaging_event_);
     has_averaging_event_ = false;
   }
+  CancelRoundWatchdog();
   if (allreduce_.running()) allreduce_.Abort();
 }
 
@@ -206,12 +220,7 @@ void Trainer::BeginAveraging() {
   const uint64_t gen = generation_;
   if (participants < 2) {
     // Nothing to average against; only the (overlappable) apply remains.
-    const double apply =
-        config_.delayed_parameter_updates ? 0.0 : MaxApplySec();
-    network_->simulator().Schedule(apply, [this, gen] {
-      if (gen != generation_) return;
-      FinishEpoch(network_->simulator().Now() - averaging_started_);
-    });
+    ScheduleApplyAndFinish();
     return;
   }
 
@@ -248,51 +257,140 @@ void Trainer::BeginAveraging() {
 void Trainer::RunAllReduce() {
   if (!running_) return;
   if (peers_.size() < 2) {
-    const double apply =
-        config_.delayed_parameter_updates ? 0.0 : MaxApplySec();
-    const uint64_t gen = generation_;
-    network_->simulator().Schedule(apply, [this, gen] {
-      if (gen != generation_) return;
-      FinishEpoch(network_->simulator().Now() - averaging_started_);
-    });
+    ScheduleApplyAndFinish();
     return;
   }
 
   std::vector<collective::Peer> members;
-  members.reserve(peers_.size());
-  for (const PeerState& p : peers_) {
-    members.push_back({p.spec.node, p.spec.host});
+  if (degraded_round_) {
+    // Too many consecutive failures: continue with the surviving
+    // partition instead of stalling on unreachable peers.
+    members = LargestReachableGroup();
+    if (members.size() < 2) {
+      ScheduleApplyAndFinish();
+      return;
+    }
+  } else {
+    members.reserve(peers_.size());
+    for (const PeerState& p : peers_) {
+      members.push_back({p.spec.node, p.spec.host});
+    }
   }
   collective::AllReduceOptions opts;
   opts.payload_bytes = GradientBytes();
   opts.strategy = config_.strategy;
   opts.streams_per_transfer = config_.streams_per_transfer;
 
+  ArmRoundWatchdog();
   const uint64_t gen = generation_;
   Status started = allreduce_.Start(
       members, opts, [this, gen](Result<collective::AllReduceResult> r) {
         if (gen != generation_) return;
+        CancelRoundWatchdog();
         if (!r.ok()) {
           // Peer churn aborted the round: MoshpitSGD restarts group
-          // averaging with the surviving peers.
-          network_->simulator().Schedule(0, [this, gen] {
-            if (gen == generation_ && running_ && averaging_) {
-              RunAllReduce();
-            }
-          });
+          // averaging with the surviving peers (after a backoff).
+          FailRound();
           return;
         }
-        const double apply =
-            config_.delayed_parameter_updates ? 0.0 : MaxApplySec();
-        network_->simulator().Schedule(apply, [this, gen] {
-          if (gen != generation_) return;
-          FinishEpoch(network_->simulator().Now() - averaging_started_);
-        });
+        round_retries_ = 0;
+        degraded_round_ = false;
+        ScheduleApplyAndFinish();
       });
   if (!started.ok()) {
     HIVESIM_LOG(Error) << "all-reduce failed to start: "
                        << started.ToString();
+    CancelRoundWatchdog();
+    FailRound();
   }
+}
+
+void Trainer::ScheduleApplyAndFinish() {
+  const double apply =
+      config_.delayed_parameter_updates ? 0.0 : MaxApplySec();
+  const uint64_t gen = generation_;
+  network_->simulator().Schedule(apply, [this, gen] {
+    if (gen != generation_) return;
+    FinishEpoch(network_->simulator().Now() - averaging_started_);
+  });
+}
+
+void Trainer::FailRound() {
+  if (!running_ || !averaging_) return;
+  CancelRoundWatchdog();
+  ++round_retries_;
+  if (round_retries_ > config_.averaging_max_retries) {
+    degraded_round_ = true;
+  }
+  // Exponential backoff with seeded jitter; attempts are clamped so the
+  // shift cannot overflow on very long outages.
+  const int attempt = std::min(round_retries_, 30);
+  double delay = config_.averaging_retry_base_sec *
+                 std::pow(2.0, attempt - 1);
+  delay = std::min(delay, config_.averaging_retry_max_sec);
+  if (delay > 0) delay *= rng_.Uniform(0.8, 1.2);
+  const uint64_t gen = generation_;
+  network_->simulator().Schedule(delay, [this, gen] {
+    if (gen != generation_ || !running_ || !averaging_) return;
+    RunAllReduce();
+  });
+}
+
+std::vector<collective::Peer> Trainer::LargestReachableGroup() const {
+  const net::Topology& topo = network_->topology();
+  const size_t n = peers_.size();
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const net::NodeId a = peers_[i].spec.node;
+      const net::NodeId b = peers_[j].spec.node;
+      bool reachable = false;
+      auto path = topo.PathBetweenNodes(a, b);
+      if (path.ok() && path->bandwidth_bps > 0) reachable = true;
+      if (reachable) parent[find(static_cast<int>(i))] =
+          find(static_cast<int>(j));
+    }
+  }
+  std::vector<int> size(n, 0);
+  for (size_t i = 0; i < n; ++i) ++size[find(static_cast<int>(i))];
+  const int best = static_cast<int>(std::distance(
+      size.begin(), std::max_element(size.begin(), size.end())));
+  std::vector<collective::Peer> members;
+  for (size_t i = 0; i < n; ++i) {
+    if (find(static_cast<int>(i)) == best) {
+      members.push_back({peers_[i].spec.node, peers_[i].spec.host});
+    }
+  }
+  return members;
+}
+
+void Trainer::ArmRoundWatchdog() {
+  CancelRoundWatchdog();
+  const double timeout = config_.averaging_round_timeout_sec;
+  if (timeout <= 0) return;
+  const uint64_t gen = generation_;
+  watchdog_event_ = network_->simulator().Schedule(timeout, [this, gen] {
+    if (gen != generation_ || !running_ || !averaging_) return;
+    has_watchdog_event_ = false;
+    // The round stalled (e.g. a partition froze its flows at rate zero).
+    // Invalidate every callback of the stuck round before aborting so the
+    // abort notification cannot double-schedule a retry.
+    ++generation_;
+    if (allreduce_.running()) allreduce_.Abort();
+    FailRound();
+  });
+  has_watchdog_event_ = true;
+}
+
+void Trainer::CancelRoundWatchdog() {
+  if (!has_watchdog_event_) return;
+  network_->simulator().Cancel(watchdog_event_);
+  has_watchdog_event_ = false;
 }
 
 void Trainer::FinishEpoch(double comm_wall_sec) {
@@ -326,6 +424,8 @@ void Trainer::FinishEpoch(double comm_wall_sec) {
   }
 
   averaging_ = false;
+  round_retries_ = 0;
+  degraded_round_ = false;
   StartEpoch();
 }
 
@@ -408,6 +508,13 @@ std::vector<net::NodeId> Trainer::PeerNodes() const {
   nodes.reserve(peers_.size());
   for (const PeerState& p : peers_) nodes.push_back(p.spec.node);
   return nodes;
+}
+
+Result<PeerSpec> Trainer::PeerSpecOf(net::NodeId node) const {
+  for (const PeerState& p : peers_) {
+    if (p.spec.node == node) return p.spec;
+  }
+  return Status::NotFound("no such peer");
 }
 
 Result<double> Trainer::DataIngressBytes(net::NodeId node) const {

@@ -57,6 +57,23 @@ struct TrainerConfig {
   /// group-forming latency emerges from DHT RPC round-trips instead of a
   /// constant. Peers must have DHT nodes registered at their endpoints.
   dht::DhtNetwork* dht = nullptr;
+
+  // --- Churn resilience (Section 7 hardening) ---
+  /// When an averaging round aborts mid-flight (a peer vanished, a WAN
+  /// event stalled the transfers), the round restarts with the surviving
+  /// group after an exponential backoff: min(max, base * 2^(attempt-1)),
+  /// jittered ±20% from the run's seeded stream to decorrelate retries.
+  double averaging_retry_base_sec = 0.5;
+  double averaging_retry_max_sec = 30.0;
+  /// Watchdog: abort an averaging round that has not completed after this
+  /// long (a WAN partition freezes its flows at rate zero, which would
+  /// otherwise stall the run forever). 0 disables the watchdog.
+  double averaging_round_timeout_sec = 0.0;
+  /// After this many consecutive failed rounds the trainer degrades
+  /// gracefully: it averages within the largest mutually reachable subset
+  /// of peers (the surviving partition) and finishes the epoch instead of
+  /// stalling.
+  int averaging_max_retries = 6;
   uint64_t seed = 1;
 };
 
@@ -123,6 +140,11 @@ class Trainer {
   /// hivemind epochs synchronizing state (Section 7) before contributing.
   Status JoinPeer(const PeerSpec& peer);
 
+  /// Spec of a current peer (NotFound if the node is not in the run).
+  /// Fault injectors capture this before a crash so the replacement can
+  /// rejoin with identical hardware.
+  Result<PeerSpec> PeerSpecOf(net::NodeId node) const;
+
   /// Stats of the run so far (valid during and after the run).
   RunStats Stats() const;
 
@@ -155,6 +177,18 @@ class Trainer {
   void BeginAveraging();
   void RunAllReduce();
   void FinishEpoch(double comm_wall_sec);
+  /// Common round tail: the (overlappable) optimizer apply, then
+  /// FinishEpoch. Generation-checked.
+  void ScheduleApplyAndFinish();
+  /// Handles a failed averaging attempt (churn abort or watchdog
+  /// timeout): retries with backoff, degrading to the largest reachable
+  /// partition once `averaging_max_retries` consecutive attempts failed.
+  void FailRound();
+  /// Members of the largest mutually reachable peer subset (paths with
+  /// zero bandwidth — live partitions — disconnect sites).
+  std::vector<collective::Peer> LargestReachableGroup() const;
+  void ArmRoundWatchdog();
+  void CancelRoundWatchdog();
   /// Sum of active peers' local rates.
   double FleetRate() const;
   /// Samples accumulated since epoch start (analytic integral).
@@ -181,6 +215,10 @@ class Trainer {
   double tbs_reached_at_ = 0;  ///< When accumulation hit the TBS.
   sim::EventId averaging_event_ = 0;
   bool has_averaging_event_ = false;
+  sim::EventId watchdog_event_ = 0;
+  bool has_watchdog_event_ = false;
+  int round_retries_ = 0;       ///< Consecutive failed averaging attempts.
+  bool degraded_round_ = false; ///< Next attempt averages the partition only.
   uint64_t generation_ = 0;
   std::vector<EpochStats> completed_;
   double last_epoch_end_ = 0;

@@ -45,9 +45,17 @@ Result<FlowId> Network::StartFlow(NodeId src, NodeId dst, double bytes,
 
   const FlowId id = next_flow_id_++;
   if (bytes <= kEpsilonBytes) {
-    // Latency-only delivery.
-    sim_->Schedule(path.rtt_sec / 2.0,
-                   [cb = std::move(on_complete)] { if (cb) cb(); });
+    // Latency-only delivery. The flow is tracked so it can be cancelled
+    // (the completion must not fire after CancelFlow), and its payload is
+    // metered on delivery like any other traffic.
+    LatencyFlow lf;
+    lf.src = src;
+    lf.dst = dst;
+    lf.bytes = bytes;
+    lf.on_complete = std::move(on_complete);
+    lf.completion_event = sim_->Schedule(
+        path.rtt_sec / 2.0, [this, id] { FinishLatencyFlow(id); });
+    latency_flows_.emplace(id, std::move(lf));
     return id;
   }
 
@@ -60,13 +68,19 @@ Result<FlowId> Network::StartFlow(NodeId src, NodeId dst, double bytes,
   flow.remaining_bytes = bytes;
   flow.on_complete = std::move(on_complete);
 
-  // Per-flow ceiling: `streams` TCP streams, each limited by the sender's
-  // window over the path RTT and any per-stream pacing on the path; the
-  // aggregate never exceeds the physical path or the application cap.
+  // Per-flow ceiling: `streams` TCP streams, each limited by the smaller
+  // of the two endpoints' windows over the path RTT (the send window and
+  // the receive window both bound bytes in flight — the paper's RTT-window
+  // model for asymmetric endpoints) and any per-stream pacing on the
+  // path; the aggregate never exceeds the physical path or the
+  // application cap.
   const int streams = std::max(1, options.streams);
   double per_stream = std::numeric_limits<double>::infinity();
   if (path.rtt_sec > 0) {
-    per_stream = topology_->ConfigOf(src).tcp_window_bytes / path.rtt_sec;
+    const double window =
+        std::min(topology_->ConfigOf(src).tcp_window_bytes,
+                 topology_->ConfigOf(dst).tcp_window_bytes);
+    per_stream = window / path.rtt_sec;
   }
   if (path.single_stream_bps > 0) {
     per_stream = std::min(per_stream, path.single_stream_bps);
@@ -81,6 +95,12 @@ Result<FlowId> Network::StartFlow(NodeId src, NodeId dst, double bytes,
 }
 
 bool Network::CancelFlow(FlowId id) {
+  auto lit = latency_flows_.find(id);
+  if (lit != latency_flows_.end()) {
+    sim_->Cancel(lit->second.completion_event);
+    latency_flows_.erase(lit);
+    return true;
+  }
   auto it = flows_.find(id);
   if (it == flows_.end()) return false;
   Progress();
@@ -106,10 +126,13 @@ Status Network::SendMessage(NodeId src, NodeId dst, double bytes,
                             FlowCallback on_delivered) {
   double delay = 0;
   HIVESIM_ASSIGN_OR_RETURN(delay, MessageDelay(src, dst, bytes));
-  MeterBytes(src, dst, bytes);
-  sim_->Schedule(delay, [cb = std::move(on_delivered)] {
-    if (cb) cb();
-  });
+  // Metered on delivery, consistent with flow metering: a run stopped
+  // mid-flight must not book undelivered control-plane bytes as egress.
+  sim_->Schedule(delay,
+                 [this, src, dst, bytes, cb = std::move(on_delivered)] {
+                   MeterBytes(src, dst, bytes);
+                   if (cb) cb();
+                 });
   return Status::OK();
 }
 
@@ -294,6 +317,15 @@ void Network::FinishFlow(FlowId id) {
   flows_.erase(it);
   Recompute();
   if (cb) cb();
+}
+
+void Network::FinishLatencyFlow(FlowId id) {
+  auto it = latency_flows_.find(id);
+  if (it == latency_flows_.end()) return;
+  LatencyFlow lf = std::move(it->second);
+  latency_flows_.erase(it);
+  if (lf.bytes > 0) MeterBytes(lf.src, lf.dst, lf.bytes);
+  if (lf.on_complete) lf.on_complete();
 }
 
 void Network::MeterBytes(NodeId src, NodeId dst, double bytes) {

@@ -48,14 +48,17 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   /// Begins transferring `bytes` from `src` to `dst`; `on_complete` fires
-  /// (at most once) when the last byte is delivered. Zero-byte flows
-  /// complete after one RTT/2 (pure latency).
+  /// (at most once) when the last byte is delivered. Sub-byte flows
+  /// complete after one RTT/2 (pure latency); they are tracked and
+  /// cancellable like any other flow, and their bytes are metered on
+  /// delivery.
   Result<FlowId> StartFlow(NodeId src, NodeId dst, double bytes,
                            FlowCallback on_complete,
                            FlowOptions options = FlowOptions());
 
-  /// Aborts a flow; bytes already delivered stay metered. Returns false if
-  /// the flow already completed.
+  /// Aborts a flow; bytes already delivered stay metered (a cancelled
+  /// latency-only flow never delivered, so it meters nothing). Returns
+  /// false if the flow already completed.
   bool CancelFlow(FlowId id);
 
   /// Latency-dominated delivery for small control-plane messages (DHT
@@ -77,8 +80,10 @@ class Network {
   /// Current fair-share rate of a flow in bytes/sec (0 if unknown).
   double FlowRate(FlowId id) const;
 
-  /// Number of flows in flight.
-  size_t active_flows() const { return flows_.size(); }
+  /// Number of flows in flight (fair-share and latency-only).
+  size_t active_flows() const {
+    return flows_.size() + latency_flows_.size();
+  }
 
   // --- Traffic accounting (all cumulative since construction/reset) ---
 
@@ -130,6 +135,16 @@ class Network {
     }
   };
 
+  // A sub-epsilon transfer riding pure latency: no fair-share state, just
+  // a cancellable delivery event whose bytes are metered on arrival.
+  struct LatencyFlow {
+    NodeId src = 0;
+    NodeId dst = 0;
+    double bytes = 0;
+    FlowCallback on_complete;
+    sim::EventId completion_event = 0;
+  };
+
   /// Advances all flows by (now - last_update_) at their current rates and
   /// books the delivered bytes into the meters.
   void Progress();
@@ -138,6 +153,8 @@ class Network {
   /// Fires when `id` is expected to finish.
   void OnFlowDeadline(FlowId id);
   void FinishFlow(FlowId id);
+  /// Delivers a latency-only flow: meters its bytes and fires the callback.
+  void FinishLatencyFlow(FlowId id);
   void MeterBytes(NodeId src, NodeId dst, double bytes);
   void UpdatePeaks();
 
@@ -146,6 +163,7 @@ class Network {
   FlowId next_flow_id_ = 1;
   double last_update_ = 0.0;
   std::unordered_map<FlowId, Flow> flows_;
+  std::unordered_map<FlowId, LatencyFlow> latency_flows_;
 
   std::unordered_map<uint64_t, double> bytes_by_node_pair_;
   std::vector<double> node_egress_bytes_;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "cloud/cost.h"
 #include "cloud/pricing.h"
 #include "cloud/spot_market.h"
@@ -228,6 +230,37 @@ TEST(SpotMarketTest, StartupDelayWithinConfiguredRange) {
     EXPECT_GE(d, market.config().vm_startup_min_sec);
     EXPECT_LT(d, market.config().vm_startup_max_sec);
   }
+}
+
+TEST(SpotMarketTest, ZeroHazardNeverInterruptsAndDrawsNothing) {
+  SpotMarketConfig config;
+  config.base_monthly_interruption_rate = 0.0;
+  SpotMarket zero(Rng(11), config);
+  EXPECT_TRUE(std::isinf(zero.SampleInterruptionDelay(Continent::kUs, 0)));
+  // "Never" must come without consuming random draws (or scanning ten
+  // years of hourly segments): the next startup delay matches a fresh
+  // same-seed market draw-for-draw.
+  SpotMarket fresh(Rng(11), config);
+  EXPECT_DOUBLE_EQ(zero.SampleStartupDelay(), fresh.SampleStartupDelay());
+}
+
+TEST(SpotMarketTest, HazardWindowsConcentrateInterruptions) {
+  SpotMarketConfig config;
+  config.base_monthly_interruption_rate = 0.05;
+  SpotMarket calm(Rng(5), config);
+  SpotMarket stormy(Rng(5), config);
+  // A scripted capacity crunch: day-long window with a 5000x hazard.
+  stormy.AddHazardWindow({Continent::kUs, 0.0, 24 * kHour, 5000.0});
+  double calm_mean = 0, storm_mean = 0;
+  constexpr int kN = 100;
+  for (int i = 0; i < kN; ++i) {
+    calm_mean += calm.SampleInterruptionDelay(Continent::kUs, 0) / kN;
+    storm_mean += stormy.SampleInterruptionDelay(Continent::kUs, 0) / kN;
+  }
+  EXPECT_LT(storm_mean, calm_mean / 50);
+  EXPECT_EQ(stormy.hazard_windows().size(), 1u);
+  stormy.ClearHazardWindows();
+  EXPECT_TRUE(stormy.hazard_windows().empty());
 }
 
 TEST(SpotMarketTest, PriceMultiplierBoundedAndDeterministic) {

@@ -242,6 +242,57 @@ TEST_F(TrainerTest, JoiningPeerSyncsForTwoEpochs) {
   trainer.Stop();
 }
 
+TEST_F(TrainerTest, RemovePeerDuringInFlightAveragingContinuesWithSurvivors) {
+  // A peer crashing while the averaging round already has gradient flows
+  // in flight must abort the round and restart it with the survivors
+  // (after backoff) instead of stalling or double-finishing the epoch.
+  TrainerConfig config;
+  config.model = ModelId::kConvNextLarge;
+  Trainer trainer(&network_, config);
+  std::vector<PeerSpec> peers;
+  for (int i = 0; i < 4; ++i) peers.push_back(GcT4());
+  for (const auto& p : peers) ASSERT_TRUE(trainer.AddPeer(p).ok());
+  ASSERT_TRUE(trainer.Start().ok());
+  // Step into the first round's transfers, then kill a participant.
+  while (network_.active_flows() == 0 && sim_.Step()) {
+  }
+  ASSERT_GT(network_.active_flows(), 0u);
+  ASSERT_TRUE(trainer.RemovePeer(peers[0].node).ok());
+  sim_.RunUntil(sim_.Now() + 2 * kHour);
+  trainer.Stop();
+  const RunStats stats = trainer.Stats();
+  EXPECT_GT(stats.epochs, 10);
+  ASSERT_FALSE(stats.epoch_stats.empty());
+  // Rounds after the crash average over the three survivors.
+  EXPECT_EQ(stats.epoch_stats.back().peers, 3);
+}
+
+TEST_F(TrainerTest, WatchdogDegradesToReachablePartitionInsteadOfStalling) {
+  // A permanent transatlantic partition freezes cross-site gradient flows
+  // at rate zero. With the round watchdog and a bounded retry budget the
+  // trainer degrades to averaging within the surviving partition and
+  // keeps stepping instead of stalling forever.
+  TrainerConfig config;
+  config.model = ModelId::kConvNextLarge;
+  config.averaging_round_timeout_sec = 60;
+  config.averaging_retry_base_sec = 0.5;
+  config.averaging_max_retries = 2;
+  Trainer trainer(&network_, config);
+  std::vector<PeerSpec> peers = {GcT4(net::kGcUs), GcT4(net::kGcUs),
+                                 GcT4(net::kGcEu), GcT4(net::kGcEu)};
+  for (const auto& p : peers) ASSERT_TRUE(trainer.AddPeer(p).ok());
+  ASSERT_TRUE(trainer.Start().ok());
+  sim_.RunUntil(10 * 60);
+  const int epochs_before = trainer.current_epoch();
+  EXPECT_GT(epochs_before, 0);
+  // Sever the US<->EU path mid-run.
+  topo_.SetPath(net::kGcUs, net::kGcEu, 0, MsToSec(100));
+  network_.Refresh();
+  sim_.RunUntil(3 * kHour);
+  trainer.Stop();
+  EXPECT_GT(trainer.current_epoch(), epochs_before + 5);
+}
+
 TEST_F(TrainerTest, SinglePeerRunsWithoutAveraging) {
   TrainerConfig config;
   config.model = ModelId::kConvNextLarge;

@@ -155,6 +155,64 @@ TEST_F(NetworkTest, CancelStopsDeliveryAndKeepsPartialMeter) {
   EXPECT_FALSE(network_.CancelFlow(*flow));  // Already gone.
 }
 
+TEST_F(NetworkTest, CancelLatencyOnlyFlowSuppressesDelivery) {
+  // Latency-only flows are tracked like any other: cancelling one must
+  // report success and the completion callback must never fire.
+  BuildTwoSites(10, 100, /*wan_rtt_ms=*/200);
+  bool done = false;
+  auto flow = network_.StartFlow(n0_, n2_, 0, [&] { done = true; });
+  ASSERT_TRUE(flow.ok());
+  EXPECT_EQ(network_.active_flows(), 1u);
+  EXPECT_TRUE(network_.CancelFlow(*flow));
+  sim_.Run();
+  EXPECT_FALSE(done);
+  EXPECT_EQ(network_.active_flows(), 0u);
+  EXPECT_FALSE(network_.CancelFlow(*flow));  // Already gone.
+  EXPECT_DOUBLE_EQ(network_.BytesBetweenNodes(n0_, n2_), 0.0);
+}
+
+TEST_F(NetworkTest, LatencyOnlyFlowMetersDeliveredBytes) {
+  // Sub-epsilon payloads ride the latency-only path but still count as
+  // delivered traffic for the egress cost engine.
+  BuildTwoSites();
+  ASSERT_TRUE(network_.StartFlow(n0_, n2_, 0.5, nullptr).ok());
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(network_.BytesBetweenNodes(n0_, n2_), 0.5);
+  EXPECT_DOUBLE_EQ(network_.NodeEgressBytes(n0_), 0.5);
+  EXPECT_DOUBLE_EQ(network_.NodeIngressBytes(n2_), 0.5);
+}
+
+TEST_F(NetworkTest, MessageBytesMeteredOnDeliveryNotAtSend) {
+  // A run stopped mid-flight must not have booked undelivered
+  // control-plane bytes into egress cost.
+  BuildTwoSites(10, /*wan_mbps=*/80, /*wan_rtt_ms=*/200);
+  ASSERT_TRUE(network_.SendMessage(n0_, n2_, 1 * kMB, nullptr).ok());
+  sim_.RunUntil(0.05);  // In flight: one-way delay is 0.2 s.
+  EXPECT_DOUBLE_EQ(network_.BytesBetweenNodes(n0_, n2_), 0.0);
+  sim_.Run();
+  EXPECT_NEAR(network_.BytesBetweenNodes(n0_, n2_), 1 * kMB, 1.0);
+}
+
+TEST_F(NetworkTest, PerStreamCapUsesMinOfEndpointWindows) {
+  // The receiver's 1 MB window at 200 ms RTT caps the stream at 5 MB/s
+  // even though the sender has the default 8 MB window: both endpoints
+  // bound the bytes in flight (the paper's RTT-window model for
+  // asymmetric endpoints).
+  a_ = topo_.AddSite("a", Provider::kGoogleCloud, Continent::kUs);
+  b_ = topo_.AddSite("b", Provider::kOnPremise, Continent::kEu);
+  topo_.SetPath(a_, b_, MbpsToBytesPerSec(1000), MsToSec(200));
+  NodeNetConfig small;
+  small.tcp_window_bytes = 1e6;
+  n0_ = topo_.AddNode(a_);         // 8 MB default send window.
+  n2_ = topo_.AddNode(b_, small);  // 1 MB receive window.
+  double done_at = -1;
+  ASSERT_TRUE(
+      network_.StartFlow(n0_, n2_, 5 * kMB, [&] { done_at = sim_.Now(); })
+          .ok());
+  sim_.Run();
+  EXPECT_NEAR(done_at, 1.0, 1e-6);
+}
+
 TEST_F(NetworkTest, MetersTrackNodeAndSiteTraffic) {
   BuildTwoSites(10, 100, 1);
   ASSERT_TRUE(network_.StartFlow(n0_, n2_, 10 * kMB, nullptr).ok());
