@@ -90,6 +90,7 @@ BENCHMARK(BM_Compression)
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintAblation();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

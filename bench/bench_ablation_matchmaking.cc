@@ -72,6 +72,7 @@ BENCHMARK(BM_MatchmakingFloor)->Arg(4096)->Arg(32768)
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintAblation();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

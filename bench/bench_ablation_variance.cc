@@ -93,6 +93,7 @@ BENCHMARK(BM_VarianceSweep)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintAblation();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

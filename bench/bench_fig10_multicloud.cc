@@ -73,6 +73,7 @@ BENCHMARK(BM_MultiCloud)->Arg(0)->Arg(1)->Arg(2)
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintFigure10();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

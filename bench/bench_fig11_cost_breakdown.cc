@@ -154,6 +154,7 @@ BENCHMARK(BM_CostBreakdown)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintFigure11();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -69,6 +69,7 @@ BENCHMARK(BM_EgressRate)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintFigure12();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

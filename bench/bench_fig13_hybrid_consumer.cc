@@ -111,6 +111,7 @@ BENCHMARK(BM_HybridConsumer)->Arg(0)->Arg(3)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintFigure13();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -94,6 +94,7 @@ BENCHMARK(BM_HybridServer)->Arg(0)->Arg(3)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintFigure14();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

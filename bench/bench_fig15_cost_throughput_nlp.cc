@@ -90,6 +90,7 @@ BENCHMARK(BM_NlpFleets)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintFigure15();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

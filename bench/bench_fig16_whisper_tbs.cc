@@ -84,6 +84,7 @@ BENCHMARK(BM_WhisperTbs)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintFigure16();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -87,6 +87,7 @@ BENCHMARK(BM_WhisperFleet)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintFigure17();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

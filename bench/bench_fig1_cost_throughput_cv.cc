@@ -113,6 +113,7 @@ BENCHMARK(BM_Fleet8xA10)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintFigure1();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

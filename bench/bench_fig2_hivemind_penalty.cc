@@ -86,6 +86,7 @@ BENCHMARK(BM_HivemindPenalty)
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintFigure2();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

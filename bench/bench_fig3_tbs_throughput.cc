@@ -72,6 +72,7 @@ BENCHMARK(BM_TbsSweep)->Arg(8192)->Arg(16384)->Arg(32768)
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintFigure3();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -79,6 +79,7 @@ BENCHMARK(BM_GranularitySweep)->Arg(8192)->Arg(32768)
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintFigure4();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -76,6 +76,7 @@ BENCHMARK(BM_MultiGpu)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintFigure5();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

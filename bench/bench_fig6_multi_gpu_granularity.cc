@@ -68,6 +68,7 @@ BENCHMARK(BM_GranularityVsGpus)->Arg(2)->Arg(8)
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintFigure6();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -81,6 +81,7 @@ BENCHMARK(BM_IntraZone)->Arg(1)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintFigure7();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -82,6 +82,7 @@ BENCHMARK(BM_Transatlantic)->Arg(0)->Arg(3)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintFigure8();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -100,6 +100,7 @@ BENCHMARK(BM_Intercontinental)->Arg(0)->Arg(3)
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintFigure9();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

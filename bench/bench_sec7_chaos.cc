@@ -198,6 +198,7 @@ BENCHMARK(BM_ChaosDay)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintChaos();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

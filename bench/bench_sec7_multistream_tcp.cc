@@ -86,6 +86,7 @@ BENCHMARK(BM_MultiStream)->Arg(1)->Arg(8)->Arg(80)
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintMultiStream();
   PrintTrainingEffect();
   benchmark::Initialize(&argc, argv);

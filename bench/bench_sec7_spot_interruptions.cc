@@ -130,6 +130,7 @@ BENCHMARK(BM_SpotInterruptions)->Arg(0)->Arg(60)
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintInterruptions();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -91,6 +91,7 @@ BENCHMARK(BM_PriceLookup);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintTable1();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -98,6 +98,7 @@ BENCHMARK(BM_InterCloudIperf)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintTable4();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

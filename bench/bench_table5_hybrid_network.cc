@@ -91,6 +91,7 @@ BENCHMARK(BM_OnPremIperf)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
   PrintTable5();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

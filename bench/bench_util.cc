@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "common/strings.h"
+#include "telemetry/telemetry.h"
 
 namespace hivesim::bench {
 
@@ -71,6 +72,38 @@ std::string Slugify(const std::string& text) {
 
 void PrintHeading(const std::string& text) {
   std::cout << "\n=== " << text << " ===\n";
+}
+
+TelemetryScope::TelemetryScope(int* argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, "--trace-out=")) {
+      trace_out_ = arg.substr(std::string("--trace-out=").size());
+    } else if (StartsWith(arg, "--metrics-out=")) {
+      metrics_out_ = arg.substr(std::string("--metrics-out=").size());
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  if (kept < *argc) {
+    *argc = kept;
+    argv[kept] = nullptr;  // argv stays null-terminated for Initialize.
+  }
+  if (!trace_out_.empty() || !metrics_out_.empty()) {
+    telemetry::Telemetry::Enable();
+  }
+}
+
+TelemetryScope::~TelemetryScope() {
+  if (!trace_out_.empty() &&
+      !telemetry::Telemetry::trace().WriteChromeJson(trace_out_)) {
+    std::cerr << "cannot write trace to " << trace_out_ << "\n";
+  }
+  if (!metrics_out_.empty() &&
+      !telemetry::Telemetry::metrics().WriteJson(metrics_out_)) {
+    std::cerr << "cannot write metrics to " << metrics_out_ << "\n";
+  }
 }
 
 }  // namespace hivesim::bench

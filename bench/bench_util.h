@@ -48,6 +48,25 @@ std::string Slugify(const std::string& text);
 /// Prints a section heading so bench output reads like the paper.
 void PrintHeading(const std::string& text);
 
+/// Opt-in telemetry for bench binaries: construct at the top of main()
+/// with &argc/argv *before* benchmark::Initialize. Strips
+/// `--trace-out=PATH` / `--metrics-out=PATH` from argv (google-benchmark
+/// rejects flags it does not know), enables telemetry when either was
+/// present, and writes the requested dumps on destruction. With neither
+/// flag it is a no-op and the run stays on the disabled fast path.
+class TelemetryScope {
+ public:
+  TelemetryScope(int* argc, char** argv);
+  ~TelemetryScope();
+
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+};
+
 }  // namespace hivesim::bench
 
 #endif  // HIVESIM_BENCH_BENCH_UTIL_H_

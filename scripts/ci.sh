@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the sanitizer suite, exactly as CI runs it:
+#   1. RelWithDebInfo build (preset "default") + full ctest,
+#   2. ASan/UBSan build (preset "asan") + full ctest under sanitizers,
+#   3. a smoke run of the telemetry pipeline (trace_tour -> trace JSON ->
+#      scripts/trace_summary.py) so the observability path stays healthy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== tier-1: configure + build + test (preset: default) ==="
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+ctest --preset default -j "$(nproc)"
+
+echo "=== sanitizers: configure + build + test (preset: asan) ==="
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+ctest --preset asan -j "$(nproc)"
+
+echo "=== telemetry smoke: trace_tour -> trace_summary.py ==="
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+./build/examples/trace_tour --seed=7 \
+  --trace-out="$tmpdir/tour.trace.json" \
+  --metrics-out="$tmpdir/tour.metrics.json" > /dev/null
+python3 scripts/trace_summary.py "$tmpdir/tour.trace.json" --top 5
+
+echo "=== ci.sh: all green ==="

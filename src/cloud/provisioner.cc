@@ -2,6 +2,9 @@
 
 #include <memory>
 
+#include "common/strings.h"
+#include "telemetry/telemetry.h"
+
 namespace hivesim::cloud {
 
 struct AcquireState {
@@ -45,6 +48,7 @@ void ZoneAwareProvisioner::Acquire(std::vector<net::SiteId> preferred_zones,
 void ZoneAwareProvisioner::Sweep(std::shared_ptr<AcquireState> state) {
   for (net::SiteId site : state->zones) {
     ++state->attempts;
+    telemetry::Count("spot.acquire_attempts");
     if (rng_.Bernoulli(AvailabilityNow(site))) {
       // Got capacity: the VM still needs its startup delay.
       const double startup = market_->SampleStartupDelay();
@@ -53,12 +57,24 @@ void ZoneAwareProvisioner::Sweep(std::shared_ptr<AcquireState> state) {
         acquisition.site = site;
         acquisition.wait_sec = sim_->Now() - state->requested_at;
         acquisition.attempts = state->attempts;
+        if (telemetry::Enabled()) {
+          telemetry::Count("spot.acquisitions");
+          telemetry::Span(
+              state->requested_at, sim_->Now(), "spot", "acquire",
+              StrFormat("{\"attempts\":%d,\"zone\":\"%s\"}",
+                        acquisition.attempts,
+                        topology_->site(site).name.c_str()));
+        }
         state->done(acquisition);
       });
       return;
     }
   }
   if (++state->sweeps >= config_.max_sweeps) {
+    if (telemetry::Enabled()) {
+      telemetry::Count("spot.acquire_failures");
+      telemetry::Instant(sim_->Now(), "spot", "acquire-exhausted");
+    }
     state->done(Status::ResourceExhausted(
         "no spot capacity in any candidate zone"));
     return;

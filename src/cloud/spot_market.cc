@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/units.h"
+#include "telemetry/telemetry.h"
 
 namespace hivesim::cloud {
 
@@ -55,6 +56,7 @@ double SpotMarket::HazardAt(net::Continent continent, double now) const {
 
 double SpotMarket::SampleInterruptionDelay(net::Continent continent,
                                            double now) {
+  telemetry::Count("spot.interruption_draws");
   // A zero base rate makes the hazard identically zero at every hour:
   // return "never" up front instead of spinning through ~87,600 hourly
   // segments (and burning one random draw per segment).

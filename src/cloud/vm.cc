@@ -2,7 +2,10 @@
 
 #include <cmath>
 
+#include "common/strings.h"
 #include "common/units.h"
+#include "net/location.h"
+#include "telemetry/telemetry.h"
 
 namespace hivesim::cloud {
 
@@ -58,6 +61,14 @@ void VmInstance::EnterInterrupted() {
   billed_seconds_ += sim_->Now() - running_since_;
   state_ = VmState::kInterrupted;
   ++interruptions_;
+  if (telemetry::Enabled()) {
+    telemetry::Count("spot.interruptions");
+    telemetry::Span(running_since_, sim_->Now(), "spot", "vm-uptime");
+    telemetry::Instant(
+        sim_->Now(), "spot", "vm-interrupted",
+        StrFormat("{\"continent\":\"%s\"}",
+                  std::string(net::ContinentName(continent_)).c_str()));
+  }
   if (on_interrupted) on_interrupted();
   if (config_.auto_restart) Start();
 }

@@ -4,7 +4,9 @@
 #include <map>
 #include <set>
 
+#include "common/strings.h"
 #include "models/calibration.h"
+#include "telemetry/telemetry.h"
 
 namespace hivesim::collective {
 
@@ -204,6 +206,11 @@ void AllReduce::Abort() {
   stage_flows_.clear();
   running_ = false;
   ++generation_;
+  if (telemetry::Enabled()) {
+    telemetry::Count("collective.aborts");
+    telemetry::Instant(network_->simulator().Now(), "collective",
+                       "allreduce-abort");
+  }
   if (done_) {
     DoneCallback cb = std::move(done_);
     cb(Status::Unavailable("all-reduce aborted"));
@@ -217,6 +224,15 @@ void AllReduce::RunStage(size_t stage_index) {
     result.wall_sec = network_->simulator().Now() - start_time_;
     result.transfers = plan_.TotalTransfers();
     result.strategy = plan_.strategy;
+    if (telemetry::Enabled()) {
+      telemetry::Count("collective.rounds");
+      telemetry::Count("collective.transfers", result.transfers);
+      telemetry::Span(
+          start_time_, network_->simulator().Now(), "collective",
+          StrCat("allreduce ", StrategyName(result.strategy)),
+          StrFormat("{\"transfers\":%d,\"peers\":%zu}", result.transfers,
+                    peers_.size()));
+    }
     DoneCallback cb = std::move(done_);
     cb(result);
     return;

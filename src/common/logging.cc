@@ -1,12 +1,20 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstring>
+#include <vector>
 
 namespace hivesim {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+struct SimTimeSource {
+  SimTimeFn fn;
+  const void* ctx;
+};
+thread_local std::vector<SimTimeSource> g_sim_time_sources;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -36,13 +44,40 @@ void SetLogLevel(LogLevel level) {
   g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+void PushSimTimeSource(SimTimeFn fn, const void* ctx) {
+  g_sim_time_sources.push_back({fn, ctx});
+}
+
+void PopSimTimeSource(const void* ctx) {
+  auto& sources = g_sim_time_sources;
+  for (auto it = sources.rbegin(); it != sources.rend(); ++it) {
+    if (it->ctx == ctx) {
+      sources.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+bool CurrentSimTime(double* out) {
+  if (g_sim_time_sources.empty()) return false;
+  const SimTimeSource& source = g_sim_time_sources.back();
+  *out = source.fn(source.ctx);
+  return true;
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(level >= GetLogLevel()) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-            << "] ";
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line;
+    double sim_time = 0;
+    if (CurrentSimTime(&sim_time)) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " t=%.3fs", sim_time);
+      stream_ << buf;
+    }
+    stream_ << "] ";
   }
 }
 

@@ -16,6 +16,20 @@ LogLevel GetLogLevel();
 /// stays quiet in tests and benches unless asked).
 void SetLogLevel(LogLevel level);
 
+/// Optional thread-local simulation-clock hook. While a source is
+/// registered, every HIVESIM_LOG line on that thread is prefixed with the
+/// current simulated time ("t=123.456s"), so interleaved trainer/chaos
+/// logs can be correlated with trace spans. `sim::Simulator` registers
+/// itself on construction; sources nest LIFO and `ctx` identifies the
+/// registration to remove (common/ cannot depend on sim/, hence the
+/// function-pointer indirection).
+using SimTimeFn = double (*)(const void* ctx);
+void PushSimTimeSource(SimTimeFn fn, const void* ctx);
+void PopSimTimeSource(const void* ctx);
+/// Stores the innermost source's current time in `*out`; false when no
+/// source is registered on this thread.
+bool CurrentSimTime(double* out);
+
 namespace internal_logging {
 
 /// Stream-style log sink; flushes one line to stderr on destruction.

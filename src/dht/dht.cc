@@ -5,6 +5,8 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/strings.h"
+#include "telemetry/telemetry.h"
 
 namespace hivesim::dht {
 
@@ -144,6 +146,7 @@ void Node::RpcLookup(const Contact& peer, Key target, bool want_value,
                [replied, on_reply] {
                  if (!*replied) {
                    *replied = true;
+                   telemetry::Count("dht.rpc_timeouts");
                    on_reply(false, std::nullopt, {});
                  }
                });
@@ -227,6 +230,7 @@ void Node::IterativeLookup(Key target, bool want_value,
   struct LookupState {
     Key target;
     bool want_value;
+    double started_at = 0;
     // Distance-ordered candidate set.
     std::map<Key, Contact> shortlist;
     std::set<Key> queried;
@@ -239,6 +243,8 @@ void Node::IterativeLookup(Key target, bool want_value,
   auto state = std::make_shared<LookupState>();
   state->target = target;
   state->want_value = want_value;
+  state->started_at = dht_->simulator().Now();
+  telemetry::Count("dht.lookups");
   state->value_done = std::move(value_done);
   state->contacts_done = std::move(contacts_done);
   for (const Contact& c : ClosestContacts(target, dht_->config().k)) {
@@ -248,6 +254,18 @@ void Node::IterativeLookup(Key target, bool want_value,
   auto finish = [this, state](std::optional<std::string> value) {
     if (state->finished) return;
     state->finished = true;
+    if (telemetry::Enabled()) {
+      const int hops = static_cast<int>(state->queried.size());
+      telemetry::Observe("dht.lookup_hops", hops);
+      telemetry::Span(
+          state->started_at, dht_->simulator().Now(), "dht",
+          state->want_value ? "dht.get" : "dht.find",
+          StrFormat("{\"hops\":%d,\"found\":%s}", hops,
+                    value.has_value() ? "true" : "false"));
+      if (state->want_value && !value.has_value()) {
+        telemetry::Count("dht.lookup_misses");
+      }
+    }
     if (state->want_value) {
       if (value.has_value()) {
         state->value_done(std::move(*value));
@@ -338,6 +356,7 @@ void Node::Get(Key key, GetCallback done) {
 
 void Node::Store(Key key, std::string value, double ttl_sec,
                  StoreCallback done) {
+  telemetry::Count("dht.stores");
   published_[key] = PublishedValue{key, value, ttl_sec};
   FindClosest(key, [this, key, value = std::move(value), ttl_sec,
                     done = std::move(done)](std::vector<Contact> closest) {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/logging.h"
 #include "common/strings.h"
+#include "telemetry/telemetry.h"
 
 namespace hivesim::faults {
 
@@ -157,6 +159,7 @@ void ChaosInjector::ApplyWan(int id, const WanEvent& event) {
   state.active.push_back({id, event.bandwidth_factor, event.extra_rtt_sec});
   ReapplyPair(key, event.a, event.b);
   ++stats_.wan_degradations;
+  telemetry::Count("chaos.wan_degradations");
   AddTrace(StrFormat(
       event.bandwidth_factor == 0 ? "partition %u<->%u"
                                   : "wan degrade %u<->%u x%.2f +%.0fms",
@@ -195,6 +198,7 @@ void ChaosInjector::ReapplyPair(uint64_t key, net::SiteId a, net::SiteId b) {
 
 void ChaosInjector::Crash(net::NodeId node, double restart_after_sec) {
   ++stats_.crashes;
+  telemetry::Count("chaos.crashes");
   AddTrace(StrFormat("crash node %u", node));
   if (dht_ != nullptr) {
     if (dht::Node* n = dht_->NodeAt(node)) n->GoOffline();
@@ -213,6 +217,7 @@ void ChaosInjector::Crash(net::NodeId node, double restart_after_sec) {
 
 void ChaosInjector::Restart(net::NodeId node) {
   ++stats_.restarts;
+  telemetry::Count("chaos.restarts");
   AddTrace(StrFormat("restart node %u", node));
   if (dht_ != nullptr) {
     if (dht::Node* n = dht_->NodeAt(node)) n->GoOnline();
@@ -227,6 +232,11 @@ void ChaosInjector::Restart(net::NodeId node) {
 }
 
 void ChaosInjector::AddTrace(std::string event) {
+  HIVESIM_LOG(Info) << "chaos: " << event;
+  if (telemetry::Enabled()) {
+    telemetry::Count("chaos.events");
+    telemetry::Instant(sim_->Now(), "chaos", event);
+  }
   trace_.push_back({sim_->Now(), std::move(event)});
 }
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/strings.h"
+#include "telemetry/telemetry.h"
 
 namespace hivesim::hivemind {
 
@@ -47,6 +48,15 @@ void Matchmaker::FormGroup(const std::vector<net::NodeId>& peers, int epoch,
     result.assembly_sec = dht_->simulator().Now() - state->started_at;
     result.discovered = static_cast<int>(state->online.size());
     result.timed_out = timed_out;
+    if (telemetry::Enabled()) {
+      telemetry::Count("mm.rounds");
+      if (timed_out) telemetry::Count("mm.timeouts");
+      telemetry::Span(state->started_at, dht_->simulator().Now(), "trainer",
+                      "matchmake",
+                      StrFormat("{\"discovered\":%d,\"timed_out\":%s}",
+                                result.discovered,
+                                timed_out ? "true" : "false"));
+    }
     state->done(result);
   };
 

@@ -1,6 +1,7 @@
 #include "hivemind/monitor.h"
 
 #include "common/table_writer.h"
+#include "telemetry/telemetry.h"
 
 namespace hivesim::hivemind {
 
@@ -13,12 +14,17 @@ void TrainingMonitor::Start() {
 void TrainingMonitor::Stop() { running_ = false; }
 
 std::string TrainingMonitor::ToCsv() const {
-  CsvWriter csv({"time_sec", "epoch", "progress", "active_peers", "sps"});
+  // New columns append after the original five, keeping old consumers'
+  // column indices stable.
+  CsvWriter csv({"time_sec", "epoch", "progress", "active_peers", "sps",
+                 "granularity", "averaging_in_flight"});
   for (const Snapshot& snap : snapshots_) {
     csv.AddRow(std::vector<double>{snap.time, static_cast<double>(snap.epoch),
                                    snap.progress,
                                    static_cast<double>(snap.active_peers),
-                                   snap.throughput_sps});
+                                   snap.throughput_sps, snap.granularity,
+                                   static_cast<double>(
+                                       snap.averaging_in_flight)});
   }
   return csv.ToString();
 }
@@ -34,7 +40,19 @@ void TrainingMonitor::Tick() {
   snap.epoch = trainer_->current_epoch();
   snap.progress = trainer_->EpochProgress();
   snap.active_peers = trainer_->ActivePeers();
-  snap.throughput_sps = trainer_->Stats().throughput_sps;
+  const RunStats stats = trainer_->Stats();
+  snap.throughput_sps = stats.throughput_sps;
+  snap.granularity = stats.granularity;
+  snap.averaging_in_flight = trainer_->averaging_in_flight() ? 1 : 0;
+  if (telemetry::Enabled()) {
+    // Prefer the registry's view when the run is instrumented: it keeps
+    // reporting across trainer restarts, where Stats() resets.
+    telemetry::MetricsRegistry& metrics = telemetry::Telemetry::metrics();
+    snap.granularity =
+        metrics.GaugeOr("trainer.granularity", snap.granularity);
+    snap.averaging_in_flight = static_cast<int>(metrics.GaugeOr(
+        "trainer.averaging_in_flight", snap.averaging_in_flight));
+  }
   snapshots_.push_back(snap);
   sim_->Schedule(interval_, [this] { Tick(); });
 }

@@ -21,6 +21,11 @@ class TrainingMonitor {
     double progress = 0;   ///< Current epoch accumulation in [0, 1].
     int active_peers = 0;
     double throughput_sps = 0;  ///< Running global throughput.
+    /// Calc/comm ratio so far (the paper's granularity metric); sourced
+    /// from the telemetry registry when enabled, from RunStats otherwise.
+    double granularity = 0;
+    /// 1 while an averaging round is in flight at scrape time, else 0.
+    int averaging_in_flight = 0;
   };
 
   TrainingMonitor(sim::Simulator* sim, const Trainer* trainer,
@@ -33,8 +38,9 @@ class TrainingMonitor {
 
   const std::vector<Snapshot>& snapshots() const { return snapshots_; }
 
-  /// The scraped time series as CSV (time, epoch, progress, peers, sps),
-  /// for plotting training timelines.
+  /// The scraped time series as CSV (time, epoch, progress, peers, sps,
+  /// granularity, averaging_in_flight) for plotting training timelines.
+  /// New columns are only ever appended, so column indices stay stable.
   std::string ToCsv() const;
 
  private:

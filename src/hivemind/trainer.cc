@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "telemetry/telemetry.h"
 
 namespace hivesim::hivemind {
 
@@ -210,6 +211,7 @@ void Trainer::BeginAveraging() {
   SyncAccumulation();
   averaging_ = true;
   averaging_started_ = network_->simulator().Now();
+  telemetry::Gauge("trainer.averaging_in_flight", 1);
 
   int participants = 0;
   for (const PeerState& p : peers_) {
@@ -319,8 +321,23 @@ void Trainer::FailRound() {
   if (!running_ || !averaging_) return;
   CancelRoundWatchdog();
   ++round_retries_;
-  if (round_retries_ > config_.averaging_max_retries) {
+  HIVESIM_LOG(Info) << "averaging round failed (attempt " << round_retries_
+                    << "), backing off";
+  if (telemetry::Enabled()) {
+    telemetry::Count("trainer.round_retries");
+    telemetry::Instant(network_->simulator().Now(), "trainer", "round-retry",
+                       StrFormat("{\"attempt\":%d}", round_retries_));
+  }
+  if (round_retries_ > config_.averaging_max_retries &&
+      !degraded_round_) {
     degraded_round_ = true;
+    HIVESIM_LOG(Info) << "degrading: averaging the largest reachable "
+                         "partition only";
+    if (telemetry::Enabled()) {
+      telemetry::Count("trainer.rounds_degraded");
+      telemetry::Instant(network_->simulator().Now(), "trainer",
+                         "round-degraded");
+    }
   }
   // Exponential backoff with seeded jitter; attempts are clamped so the
   // shift cannot overflow on very long outages.
@@ -412,6 +429,43 @@ void Trainer::FinishEpoch(double comm_wall_sec) {
   stats.peers = static_cast<int>(peers_.size());
   completed_.push_back(stats);
   last_epoch_end_ = now;
+
+  if (telemetry::Enabled()) {
+    const int epoch = static_cast<int>(completed_.size()) - 1;
+    const std::string epoch_args = StrFormat("{\"epoch\":%d}", epoch);
+    telemetry::Span(epoch_start_, calc_end, "trainer", "calc", epoch_args);
+    telemetry::Span(calc_end, now, "trainer", "comm", epoch_args);
+    if (averaging_started_ > calc_end) {
+      telemetry::Span(calc_end, averaging_started_, "trainer",
+                      "matchmake-wait", epoch_args);
+    }
+    // Per-peer timelines: each peer gets its own Perfetto lane showing
+    // what it spent the epoch on (syncing peers receive state instead of
+    // contributing gradients).
+    for (const PeerState& p : peers_) {
+      const std::string lane = StrFormat("peer/%u", p.spec.node);
+      if (p.sync_epochs_left > 0) {
+        telemetry::Span(epoch_start_, now, lane, "sync", epoch_args);
+      } else {
+        telemetry::Span(epoch_start_, calc_end, lane, "accumulate",
+                        epoch_args);
+        telemetry::Span(averaging_started_, now, lane, "average",
+                        epoch_args);
+      }
+    }
+    telemetry::Count("trainer.epochs");
+    telemetry::Gauge("trainer.averaging_in_flight", 0);
+    telemetry::Gauge("trainer.active_peers", ActivePeers());
+    double calc_sum = 0;
+    double comm_sum = 0;
+    for (const EpochStats& e : completed_) {
+      calc_sum += e.calc_sec;
+      comm_sum += e.comm_sec;
+    }
+    if (comm_sum > kEpsilon) {
+      telemetry::Gauge("trainer.granularity", calc_sum / comm_sum);
+    }
+  }
 
   // Dataset ingress: each active peer streamed its share of this epoch.
   const double rate = FleetRate();

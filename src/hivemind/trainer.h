@@ -153,6 +153,9 @@ class Trainer {
   double EpochProgress() const;  ///< Accumulated samples / TBS.
   int ActivePeers() const;
   bool running() const { return running_; }
+  /// True while an averaging round (matchmake + all-reduce + apply) is in
+  /// flight; accumulation is paused for its duration.
+  bool averaging_in_flight() const { return averaging_; }
 
   /// Per-peer dataset bytes streamed from B2 so far (cost accounting).
   Result<double> DataIngressBytes(net::NodeId node) const;

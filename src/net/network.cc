@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "telemetry/telemetry.h"
 
 namespace hivesim::net {
 
@@ -51,11 +52,13 @@ Result<FlowId> Network::StartFlow(NodeId src, NodeId dst, double bytes,
     LatencyFlow lf;
     lf.src = src;
     lf.dst = dst;
+    lf.started_sec = sim_->Now();
     lf.bytes = bytes;
     lf.on_complete = std::move(on_complete);
     lf.completion_event = sim_->Schedule(
         path.rtt_sec / 2.0, [this, id] { FinishLatencyFlow(id); });
     latency_flows_.emplace(id, std::move(lf));
+    telemetry::Count("net.flows_started");
     return id;
   }
 
@@ -65,8 +68,11 @@ Result<FlowId> Network::StartFlow(NodeId src, NodeId dst, double bytes,
   flow.id = id;
   flow.src = src;
   flow.dst = dst;
+  flow.started_sec = sim_->Now();
+  flow.total_bytes = bytes;
   flow.remaining_bytes = bytes;
   flow.on_complete = std::move(on_complete);
+  telemetry::Count("net.flows_started");
 
   // Per-flow ceiling: `streams` TCP streams, each limited by the smaller
   // of the two endpoints' windows over the path RTT (the send window and
@@ -98,6 +104,12 @@ bool Network::CancelFlow(FlowId id) {
   auto lit = latency_flows_.find(id);
   if (lit != latency_flows_.end()) {
     sim_->Cancel(lit->second.completion_event);
+    if (telemetry::Enabled()) {
+      telemetry::Count("net.flows_cancelled");
+      telemetry::Instant(
+          sim_->Now(), "net",
+          StrFormat("flow-cancel %u->%u", lit->second.src, lit->second.dst));
+    }
     latency_flows_.erase(lit);
     return true;
   }
@@ -106,6 +118,15 @@ bool Network::CancelFlow(FlowId id) {
   Progress();
   if (it->second.has_completion_event) {
     sim_->Cancel(it->second.completion_event);
+  }
+  if (telemetry::Enabled()) {
+    const Flow& flow = it->second;
+    telemetry::Count("net.flows_cancelled");
+    telemetry::Instant(
+        sim_->Now(), "net",
+        StrFormat("flow-cancel %u->%u", flow.src, flow.dst),
+        StrFormat("{\"delivered_bytes\":%.0f}",
+                  flow.total_bytes - flow.remaining_bytes));
   }
   flows_.erase(it);
   Recompute();
@@ -126,6 +147,7 @@ Status Network::SendMessage(NodeId src, NodeId dst, double bytes,
                             FlowCallback on_delivered) {
   double delay = 0;
   HIVESIM_ASSIGN_OR_RETURN(delay, MessageDelay(src, dst, bytes));
+  telemetry::Count("net.messages");
   // Metered on delivery, consistent with flow metering: a run stopped
   // mid-flight must not book undelivered control-plane bytes as egress.
   sim_->Schedule(delay,
@@ -313,6 +335,13 @@ void Network::OnFlowDeadline(FlowId id) {
 void Network::FinishFlow(FlowId id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return;
+  if (telemetry::Enabled()) {
+    const Flow& flow = it->second;
+    telemetry::Count("net.flows_completed");
+    telemetry::Span(flow.started_sec, sim_->Now(), "net",
+                    StrFormat("flow %u->%u", flow.src, flow.dst),
+                    StrFormat("{\"bytes\":%.0f}", flow.total_bytes));
+  }
   FlowCallback cb = std::move(it->second.on_complete);
   flows_.erase(it);
   Recompute();
@@ -324,6 +353,12 @@ void Network::FinishLatencyFlow(FlowId id) {
   if (it == latency_flows_.end()) return;
   LatencyFlow lf = std::move(it->second);
   latency_flows_.erase(it);
+  if (telemetry::Enabled()) {
+    telemetry::Count("net.flows_completed");
+    telemetry::Span(lf.started_sec, sim_->Now(), "net",
+                    StrFormat("flow %u->%u", lf.src, lf.dst),
+                    StrFormat("{\"bytes\":%.0f}", lf.bytes));
+  }
   if (lf.bytes > 0) MeterBytes(lf.src, lf.dst, lf.bytes);
   if (lf.on_complete) lf.on_complete();
 }
@@ -339,6 +374,15 @@ void Network::MeterBytes(NodeId src, NodeId dst, double bytes) {
   bytes_by_node_pair_[NodePairKey(src, dst)] += bytes;
   node_egress_bytes_[src] += bytes;
   node_ingress_bytes_[dst] += bytes;
+  if (telemetry::Enabled()) {
+    telemetry::Count("net.bytes_delivered", bytes);
+    telemetry::Count(
+        telemetry::LabeledName(
+            "net.bytes_delivered",
+            {{"src_zone", topology_->site(topology_->SiteOf(src)).name},
+             {"dst_zone", topology_->site(topology_->SiteOf(dst)).name}}),
+        bytes);
+  }
 }
 
 void Network::UpdatePeaks() {

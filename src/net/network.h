@@ -110,6 +110,8 @@ class Network {
     FlowId id = 0;
     NodeId src = 0;
     NodeId dst = 0;
+    double started_sec = 0;
+    double total_bytes = 0;
     double remaining_bytes = 0;
     double rate_bps = 0;       // Current fair share.
     double stream_cap_bps = 0; // min(path, streams * window/RTT, app cap).
@@ -140,6 +142,7 @@ class Network {
   struct LatencyFlow {
     NodeId src = 0;
     NodeId dst = 0;
+    double started_sec = 0;
     double bytes = 0;
     FlowCallback on_complete;
     sim::EventId completion_event = 0;

@@ -2,7 +2,18 @@
 
 #include <cassert>
 
+#include "common/logging.h"
+#include "telemetry/telemetry.h"
+
 namespace hivesim::sim {
+
+Simulator::Simulator() {
+  PushSimTimeSource(
+      [](const void* ctx) { return static_cast<const Simulator*>(ctx)->Now(); },
+      this);
+}
+
+Simulator::~Simulator() { PopSimTimeSource(this); }
 
 EventId Simulator::Schedule(double delay, Callback cb) {
   if (delay < 0) delay = 0;
@@ -19,6 +30,7 @@ EventId Simulator::ScheduleAt(double when, Callback cb) {
   cancel_index_.emplace(ev->id, ev);
   queue_.push(ev);
   ++live_events_;
+  telemetry::Count("sim.events_scheduled");
   return ev->id;
 }
 
@@ -31,6 +43,7 @@ bool Simulator::Cancel(EventId id) {
   ev->cancelled = true;
   ev->cb = nullptr;  // Release captured state eagerly.
   --live_events_;
+  telemetry::Count("sim.events_cancelled");
   return true;
 }
 
@@ -51,6 +64,7 @@ bool Simulator::Step() {
   --live_events_;
   ++events_fired_;
   cancel_index_.erase(ev->id);
+  telemetry::Count("sim.events_fired");
   // Move the callback out so the event can schedule/cancel freely.
   Callback cb = std::move(ev->cb);
   cb();
@@ -75,6 +89,7 @@ void Simulator::RunUntil(double when) {
     --live_events_;
     ++events_fired_;
     cancel_index_.erase(ev->id);
+    telemetry::Count("sim.events_fired");
     Callback cb = std::move(ev->cb);
     cb();
   }

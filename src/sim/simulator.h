@@ -25,7 +25,10 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
 
-  Simulator() = default;
+  /// Registers this simulator as the thread's log-timestamp source, so
+  /// HIVESIM_LOG lines emitted while it exists carry `t=<Now()>s`.
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 

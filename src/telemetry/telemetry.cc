@@ -1,0 +1,275 @@
+#include "telemetry/telemetry.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace hivesim::telemetry {
+
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+// --- TraceRecorder ---
+
+int TraceRecorder::LaneId(std::string_view lane) {
+  const auto it = lane_ids_.find(std::string(lane));
+  if (it != lane_ids_.end()) return it->second;
+  const int id = static_cast<int>(lanes_.size());
+  lanes_.emplace_back(lane);
+  lane_ids_.emplace(lanes_.back(), id);
+  return id;
+}
+
+void TraceRecorder::Span(double start_sec, double end_sec,
+                         std::string_view lane, std::string_view name,
+                         std::string args_json) {
+  Event e;
+  e.ts_sec = start_sec;
+  e.dur_sec = end_sec > start_sec ? end_sec - start_sec : 0.0;
+  e.instant = false;
+  e.lane = LaneId(lane);
+  e.name = std::string(name);
+  e.args_json = std::move(args_json);
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::Instant(double at_sec, std::string_view lane,
+                            std::string_view name, std::string args_json) {
+  Event e;
+  e.ts_sec = at_sec;
+  e.instant = true;
+  e.lane = LaneId(lane);
+  e.name = std::string(name);
+  e.args_json = std::move(args_json);
+  events_.push_back(std::move(e));
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  std::string out;
+  out.reserve(128 + events_.size() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"hivesim\"}}";
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    out += StrFormat(
+        ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%zu,\"name\":\"thread_name\","
+        "\"args\":{\"name\":\"%s\"}}",
+        i + 1, JsonWriter::Escape(lanes_[i]).c_str());
+  }
+  for (const Event& e : events_) {
+    // Chrome trace timestamps are microseconds; sim time is seconds.
+    const double ts_us = e.ts_sec * 1e6;
+    if (e.instant) {
+      out += StrFormat(
+          ",\n{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"s\":\"t\","
+          "\"name\":\"%s\"",
+          e.lane + 1, ts_us, JsonWriter::Escape(e.name).c_str());
+    } else {
+      out += StrFormat(
+          ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,"
+          "\"name\":\"%s\"",
+          e.lane + 1, ts_us, e.dur_sec * 1e6,
+          JsonWriter::Escape(e.name).c_str());
+    }
+    if (!e.args_json.empty()) {
+      out += ",\"args\":";
+      out += e.args_json;
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string TraceRecorder::ToCsv() const {
+  std::string out = "kind,lane,name,ts_sec,dur_sec,args\n";
+  for (const Event& e : events_) {
+    // args may hold commas/quotes; CSV-quote it wholesale.
+    std::string args = e.args_json;
+    std::string quoted;
+    quoted.reserve(args.size() + 2);
+    quoted += '"';
+    for (const char c : args) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    out += StrFormat("%s,%s,%s,%.6f,%.6f,%s\n",
+                     e.instant ? "instant" : "span", lanes_[e.lane].c_str(),
+                     e.name.c_str(), e.ts_sec, e.dur_sec, quoted.c_str());
+  }
+  return out;
+}
+
+bool TraceRecorder::WriteChromeJson(const std::string& path) const {
+  return WriteFile(path, ToChromeJson());
+}
+
+bool TraceRecorder::WriteCsv(const std::string& path) const {
+  return WriteFile(path, ToCsv());
+}
+
+void TraceRecorder::Clear() {
+  lanes_.clear();
+  lane_ids_.clear();
+  events_.clear();
+}
+
+// --- MetricsRegistry ---
+
+void MetricsRegistry::Count(std::string_view name, double delta) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    it->second += delta;
+  } else {
+    counters_.emplace(std::string(name), delta);
+  }
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    it->second = value;
+  } else {
+    gauges_.emplace(std::string(name), value);
+  }
+}
+
+void MetricsRegistry::DefineHistogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  if (histograms_.find(name) != histograms_.end()) return;
+  Histogram h;
+  h.bounds = std::move(bounds);
+  h.counts.assign(h.bounds.size() + 1, 0);
+  histograms_.emplace(std::string(name), std::move(h));
+}
+
+void MetricsRegistry::Observe(std::string_view name, double value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    DefineHistogram(name, {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
+    it = histograms_.find(name);
+  }
+  Histogram& h = it->second;
+  size_t bucket = h.bounds.size();  // Overflow unless a bound covers it.
+  for (size_t i = 0; i < h.bounds.size(); ++i) {
+    if (value <= h.bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++h.counts[bucket];
+  h.sum += value;
+  ++h.total;
+}
+
+double MetricsRegistry::CounterValue(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0.0;
+}
+
+double MetricsRegistry::GaugeOr(std::string_view name, double fallback) const {
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second : fallback;
+}
+
+uint64_t MetricsRegistry::HistogramCount(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it != histograms_.end() ? it->second.total : 0;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters_) {
+    json.Key(name).Number(value);
+  }
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, value] : gauges_) {
+    json.Key(name).Number(value);
+  }
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    json.Key(name).BeginObject();
+    json.Key("count").Int(static_cast<int64_t>(h.total));
+    json.Key("sum").Number(h.sum);
+    json.Key("buckets").BeginArray();
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      json.BeginObject();
+      json.Key("le");
+      if (i < h.bounds.size()) {
+        json.Number(h.bounds[i]);
+      } else {
+        json.String("inf");
+      }
+      json.Key("count").Int(static_cast<int64_t>(h.counts[i]));
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.ToString();
+}
+
+bool MetricsRegistry::WriteJson(const std::string& path) const {
+  return WriteFile(path, ToJson() + "\n");
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string LabeledName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string out(base);
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += '=';
+    out += value;
+  }
+  out += '}';
+  return out;
+}
+
+// --- Telemetry ---
+
+TraceRecorder& Telemetry::trace() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+MetricsRegistry& Telemetry::metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void Telemetry::Reset() {
+  trace().Clear();
+  metrics().Clear();
+}
+
+}  // namespace hivesim::telemetry

@@ -1,0 +1,176 @@
+#ifndef HIVESIM_TELEMETRY_TELEMETRY_H_
+#define HIVESIM_TELEMETRY_TELEMETRY_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace hivesim::telemetry {
+
+/// Records named spans and instant events stamped with *simulation* time
+/// (never wall clock, so two identically seeded runs produce byte-identical
+/// traces). Every event lives on a "lane" — rendered as one thread row per
+/// peer/subsystem when the trace is opened in Perfetto/chrome://tracing.
+///
+/// Callers pass timestamps explicitly (`Simulator::Now()`); the recorder
+/// itself has no clock and no dependencies beyond hivesim_common, which is
+/// what lets the simulator kernel itself be instrumented without a cycle.
+class TraceRecorder {
+ public:
+  /// A completed span [start_sec, end_sec] on `lane`. `args_json`, when
+  /// non-empty, must be a compact JSON object ("{\"bytes\":42}") and is
+  /// embedded verbatim as the event's args.
+  void Span(double start_sec, double end_sec, std::string_view lane,
+            std::string_view name, std::string args_json = "");
+
+  /// An instant event at `at_sec` on `lane` (faults, cancellations, ...).
+  void Instant(double at_sec, std::string_view lane, std::string_view name,
+               std::string args_json = "");
+
+  /// The trace as Chrome `trace_event` JSON: load the file in
+  /// https://ui.perfetto.dev or chrome://tracing. One metadata-named
+  /// thread per lane; timestamps in microseconds of simulation time.
+  std::string ToChromeJson() const;
+
+  /// The same events as a flat CSV (kind, lane, name, ts_sec, dur_sec,
+  /// args) for spreadsheet/pandas consumption.
+  std::string ToCsv() const;
+
+  /// Write either rendering to a file; false on I/O failure.
+  bool WriteChromeJson(const std::string& path) const;
+  bool WriteCsv(const std::string& path) const;
+
+  size_t size() const { return events_.size(); }
+  const std::vector<std::string>& lanes() const { return lanes_; }
+  void Clear();
+
+ private:
+  struct Event {
+    double ts_sec = 0;
+    double dur_sec = 0;  ///< 0 for instants.
+    bool instant = false;
+    int lane = 0;  ///< Index into lanes_.
+    std::string name;
+    std::string args_json;
+  };
+
+  int LaneId(std::string_view lane);
+
+  std::vector<std::string> lanes_;  ///< tid = index + 1, first-use order.
+  std::unordered_map<std::string, int> lane_ids_;
+  std::vector<Event> events_;
+};
+
+/// Counters, gauges, and fixed-bucket histograms, keyed by flat metric
+/// names; labels are folded into the name ("net.bytes_delivered{src_zone=
+/// gc-us-central1,dst_zone=gc-europe-west1}", see `LabeledName`). All maps
+/// are ordered so that `ToJson` output is deterministic.
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to a (monotonic) counter, creating it at zero.
+  void Count(std::string_view name, double delta = 1.0);
+  /// Sets a gauge to its latest value.
+  void SetGauge(std::string_view name, double value);
+
+  /// Declares a histogram with explicit upper bucket bounds (ascending);
+  /// an implicit +inf overflow bucket is appended. No-op if it exists.
+  void DefineHistogram(std::string_view name, std::vector<double> bounds);
+  /// Records one observation; auto-defines the histogram with default
+  /// bounds {1,2,5,10,20,50,100,200,500,1000} on first use.
+  void Observe(std::string_view name, double value);
+
+  /// Current counter value (0 when never incremented).
+  double CounterValue(std::string_view name) const;
+  /// Current gauge value, or `fallback` when the gauge was never set.
+  double GaugeOr(std::string_view name, double fallback) const;
+  /// Total observations of a histogram (0 when undefined).
+  uint64_t HistogramCount(std::string_view name) const;
+
+  /// Snapshot of everything as a JSON document, keys sorted — callable at
+  /// any simulation time, byte-identical for identical runs.
+  std::string ToJson() const;
+  bool WriteJson(const std::string& path) const;
+
+  void Clear();
+
+ private:
+  struct Histogram {
+    std::vector<double> bounds;    ///< Ascending upper bounds.
+    std::vector<uint64_t> counts;  ///< bounds.size() + 1 (overflow last).
+    double sum = 0;
+    uint64_t total = 0;
+  };
+
+  std::map<std::string, double, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// Builds "base{k1=v1,k2=v2}" metric names for labeled series.
+std::string LabeledName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
+
+/// Process-global telemetry switchboard. Disabled by default: every
+/// instrumentation site guards on `Enabled()` (one branch on a plain bool)
+/// before touching the recorder, so benches and tests that never opt in
+/// pay near-zero overhead.
+class Telemetry {
+ public:
+  static bool Enabled() { return enabled_; }
+  static bool Disabled() { return !enabled_; }
+  static void Enable() { enabled_ = true; }
+  static void Disable() { enabled_ = false; }
+
+  static TraceRecorder& trace();
+  static MetricsRegistry& metrics();
+
+  /// Clears both sinks (fresh run / determinism replay); the enabled
+  /// state is left unchanged.
+  static void Reset();
+
+ private:
+  static inline bool enabled_ = false;
+};
+
+// --- Guarded convenience wrappers (no-ops while telemetry is off) ---
+
+inline bool Enabled() { return Telemetry::Enabled(); }
+
+inline void Span(double start_sec, double end_sec, std::string_view lane,
+                 std::string_view name, std::string args_json = "") {
+  if (Telemetry::Disabled()) return;
+  Telemetry::trace().Span(start_sec, end_sec, lane, name,
+                          std::move(args_json));
+}
+
+inline void Instant(double at_sec, std::string_view lane,
+                    std::string_view name, std::string args_json = "") {
+  if (Telemetry::Disabled()) return;
+  Telemetry::trace().Instant(at_sec, lane, name, std::move(args_json));
+}
+
+inline void Count(std::string_view name, double delta = 1.0) {
+  if (Telemetry::Disabled()) return;
+  Telemetry::metrics().Count(name, delta);
+}
+
+inline void Gauge(std::string_view name, double value) {
+  if (Telemetry::Disabled()) return;
+  Telemetry::metrics().SetGauge(name, value);
+}
+
+inline void Observe(std::string_view name, double value) {
+  if (Telemetry::Disabled()) return;
+  Telemetry::metrics().Observe(name, value);
+}
+
+}  // namespace hivesim::telemetry
+
+#endif  // HIVESIM_TELEMETRY_TELEMETRY_H_

@@ -123,6 +123,45 @@ TEST(SimulatorTest, PendingCountsLiveEventsOnly) {
   EXPECT_EQ(sim.pending(), 0u);
 }
 
+TEST(SimulatorTest, EventsFiredExcludesCancelled) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 5; ++i) ids.push_back(sim.Schedule(i + 1.0, [] {}));
+  EXPECT_TRUE(sim.Cancel(ids[1]));
+  EXPECT_TRUE(sim.Cancel(ids[3]));
+  sim.Run();
+  EXPECT_EQ(sim.events_fired(), 3u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, StepAdvancesAccountingOneEventAtATime) {
+  Simulator sim;
+  sim.Schedule(1.0, [] {});
+  sim.Schedule(2.0, [] {});
+  EXPECT_EQ(sim.events_fired(), 0u);
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(sim.events_fired(), 1u);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(sim.events_fired(), 2u);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(sim.events_fired(), 2u);
+}
+
+TEST(SimulatorTest, RunUntilFiresOnlyDueEventsAndCountsThem) {
+  Simulator sim;
+  sim.Schedule(1.0, [] {});
+  sim.Schedule(5.0, [] {});
+  sim.RunUntil(2.0);
+  EXPECT_EQ(sim.events_fired(), 1u);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.RunUntil(5.0);
+  EXPECT_EQ(sim.events_fired(), 2u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
 TEST(SimulatorTest, ManyEventsStressOrdering) {
   Simulator sim;
   double last = -1;

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "faults/chaos.h"
+#include "hivemind/monitor.h"
+#include "hivemind/trainer.h"
+#include "net/profiles.h"
+#include "sim/simulator.h"
+#include "telemetry/telemetry.h"
+
+namespace hivesim::telemetry {
+namespace {
+
+/// Telemetry is a process-global switchboard, so every test starts from a
+/// clean enabled slate and leaves the process disabled again.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Telemetry::Enable();
+    Telemetry::Reset();
+  }
+  void TearDown() override {
+    Telemetry::Reset();
+    Telemetry::Disable();
+  }
+};
+
+TEST_F(TelemetryTest, ChromeJsonHasMetadataLanesAndMicroseconds) {
+  TraceRecorder trace;
+  trace.Span(1.5, 2.25, "net", "flow 1->2", "{\"bytes\":42}");
+  trace.Instant(3.0, "chaos", "crash");
+
+  const std::string json = trace.ToChromeJson();
+  // Envelope + process metadata.
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  // One thread_name metadata record per lane, tid = first-use order + 1.
+  EXPECT_NE(json.find("\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":"
+                      "\"net\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2,\"name\":\"thread_name\",\"args\":{\"name\":"
+                      "\"chaos\"}"),
+            std::string::npos);
+  // Seconds become microseconds: 1.5 s -> 1500000.000, dur 0.75 s.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1500000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":750000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"bytes\":42}"), std::string::npos);
+  // Instants carry thread scope.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.lanes(), (std::vector<std::string>{"net", "chaos"}));
+}
+
+TEST_F(TelemetryTest, CsvQuotesArgsAndKeepsHeaderStable) {
+  TraceRecorder trace;
+  trace.Span(0.5, 1.0, "trainer", "calc", "{\"epoch\":0}");
+  const std::string csv = trace.ToCsv();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')),
+            "kind,lane,name,ts_sec,dur_sec,args");
+  // JSON args are CSV-quoted with doubled inner quotes.
+  EXPECT_NE(csv.find("\"{\"\"epoch\"\":0}\""), std::string::npos);
+  EXPECT_NE(csv.find("span,trainer,calc,0.500000,0.500000"),
+            std::string::npos);
+}
+
+TEST_F(TelemetryTest, RegistryCountsGaugesAndHistograms) {
+  MetricsRegistry metrics;
+  metrics.Count("net.messages");
+  metrics.Count("net.messages", 2);
+  metrics.SetGauge("trainer.granularity", 4.5);
+  metrics.DefineHistogram("dht.lookup_hops", {1, 2, 5});
+  metrics.Observe("dht.lookup_hops", 2);
+  metrics.Observe("dht.lookup_hops", 100);  // Overflow bucket.
+
+  EXPECT_DOUBLE_EQ(metrics.CounterValue("net.messages"), 3.0);
+  EXPECT_DOUBLE_EQ(metrics.CounterValue("never.incremented"), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.GaugeOr("trainer.granularity", -1), 4.5);
+  EXPECT_DOUBLE_EQ(metrics.GaugeOr("missing.gauge", -1), -1.0);
+  EXPECT_EQ(metrics.HistogramCount("dht.lookup_hops"), 2u);
+
+  const std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"net.messages\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"trainer.granularity\":4.5"), std::string::npos);
+  EXPECT_NE(json.find("\"le\":\"inf\""), std::string::npos);
+  // Keys come out sorted, so counters precede gauges precede histograms
+  // and the document is byte-stable across identical runs.
+  EXPECT_LT(json.find("\"counters\""), json.find("\"gauges\""));
+  EXPECT_LT(json.find("\"gauges\""), json.find("\"histograms\""));
+}
+
+TEST_F(TelemetryTest, LabeledNameFoldsLabelsIntoTheName) {
+  EXPECT_EQ(LabeledName("net.bytes_delivered",
+                        {{"src_zone", "gc-us"}, {"dst_zone", "gc-eu"}}),
+            "net.bytes_delivered{src_zone=gc-us,dst_zone=gc-eu}");
+  EXPECT_EQ(LabeledName("x", {}), "x{}");
+}
+
+TEST_F(TelemetryTest, DisabledFastPathRecordsNothing) {
+  Telemetry::Disable();
+  Span(0, 1, "net", "flow");
+  Instant(0, "net", "x");
+  Count("c");
+  Gauge("g", 1);
+  Observe("h", 1);
+  EXPECT_EQ(Telemetry::trace().size(), 0u);
+  EXPECT_DOUBLE_EQ(Telemetry::metrics().CounterValue("c"), 0.0);
+  EXPECT_EQ(Telemetry::metrics().ToJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST_F(TelemetryTest, InstrumentedTrainingFillsRegistryAndLanes) {
+  sim::Simulator sim;
+  net::Topology topo = net::StandardWorld();
+  net::Network network(&sim, &topo);
+
+  hivemind::TrainerConfig config;
+  config.model = models::ModelId::kConvNextLarge;
+  hivemind::Trainer trainer(&network, config);
+  for (int i = 0; i < 4; ++i) {
+    hivemind::PeerSpec peer;
+    peer.node = topo.AddNode(net::kGcUs, net::CloudVmNetConfig());
+    ASSERT_TRUE(trainer.AddPeer(peer).ok());
+  }
+  auto stats = trainer.RunFor(kHour);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_GT(stats->epochs, 0);
+
+  const MetricsRegistry& metrics = Telemetry::metrics();
+  EXPECT_DOUBLE_EQ(metrics.CounterValue("trainer.epochs"), stats->epochs);
+  EXPECT_GT(metrics.CounterValue("sim.events_fired"), 0.0);
+  EXPECT_GT(metrics.CounterValue("net.flows_completed"), 0.0);
+  EXPECT_GT(metrics.CounterValue("net.bytes_delivered"), 0.0);
+  EXPECT_GT(metrics.CounterValue("collective.rounds"), 0.0);
+  EXPECT_NEAR(metrics.GaugeOr("trainer.granularity", -1),
+              stats->granularity, 1e-9);
+
+  // Per-peer timeline lanes plus the subsystem lanes showed up.
+  const auto& lanes = Telemetry::trace().lanes();
+  auto has_lane = [&](const std::string& lane) {
+    for (const auto& l : lanes)
+      if (l == lane) return true;
+    return false;
+  };
+  EXPECT_TRUE(has_lane("net"));
+  EXPECT_TRUE(has_lane("trainer"));
+  EXPECT_TRUE(has_lane("collective"));
+  EXPECT_TRUE(has_lane("peer/0"));
+}
+
+TEST_F(TelemetryTest, MonitorSnapshotsCarryGranularityAndAveragingState) {
+  sim::Simulator sim;
+  net::Topology topo = net::StandardWorld();
+  net::Network network(&sim, &topo);
+
+  hivemind::TrainerConfig config;
+  hivemind::Trainer trainer(&network, config);
+  for (int i = 0; i < 4; ++i) {
+    hivemind::PeerSpec peer;
+    peer.node = topo.AddNode(net::kGcUs, net::CloudVmNetConfig());
+    ASSERT_TRUE(trainer.AddPeer(peer).ok());
+  }
+  hivemind::TrainingMonitor monitor(&sim, &trainer, /*interval_sec=*/10.0);
+  ASSERT_TRUE(trainer.Start().ok());
+  monitor.Start();
+  sim.RunUntil(kHour);
+  trainer.Stop();
+  monitor.Stop();
+
+  ASSERT_FALSE(monitor.snapshots().empty());
+  const auto& last = monitor.snapshots().back();
+  EXPECT_GT(last.epoch, 0);
+  EXPECT_GT(last.granularity, 0.0);
+  bool saw_in_flight = false;
+  for (const auto& snap : monitor.snapshots()) {
+    EXPECT_TRUE(snap.averaging_in_flight == 0 ||
+                snap.averaging_in_flight == 1);
+    saw_in_flight |= snap.averaging_in_flight == 1;
+  }
+  EXPECT_TRUE(saw_in_flight);
+
+  // The CSV stays column-stable: original five columns first, new ones
+  // appended.
+  const std::string csv = monitor.ToCsv();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')),
+            "time_sec,epoch,progress,active_peers,sps,granularity,"
+            "averaging_in_flight");
+}
+
+/// One seeded chaos training run with the full stack (DHT matchmaking,
+/// partition, crash/restart), returning the rendered telemetry.
+struct RenderedRun {
+  std::string trace_json;
+  std::string trace_csv;
+  std::string metrics_json;
+};
+
+RenderedRun ChaosRun(uint64_t seed) {
+  Telemetry::Reset();
+  sim::Simulator sim;
+  net::Topology topo = net::StandardWorld();
+  net::Network network(&sim, &topo);
+
+  std::vector<hivemind::PeerSpec> peers;
+  for (int i = 0; i < 4; ++i) {
+    hivemind::PeerSpec peer;
+    peer.node =
+        topo.AddNode(i < 2 ? net::kGcUs : net::kGcEu, net::CloudVmNetConfig());
+    peers.push_back(peer);
+  }
+
+  dht::DhtNetwork dht(&network);
+  Rng id_rng(seed);
+  std::vector<dht::Node*> nodes;
+  for (const auto& p : peers) nodes.push_back(dht.CreateNode(p.node, id_rng.Next64()));
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    nodes[i]->Bootstrap(dht::Contact{nodes[0]->id(), nodes[0]->endpoint()},
+                        [](std::vector<dht::Contact>) {});
+    sim.Run();
+  }
+
+  hivemind::TrainerConfig config;
+  config.seed = seed;
+  config.dht = &dht;
+  config.averaging_round_timeout_sec = 90;
+  config.averaging_retry_base_sec = 1.0;
+  config.averaging_max_retries = 2;
+  hivemind::Trainer trainer(&network, config);
+  for (const auto& p : peers) EXPECT_TRUE(trainer.AddPeer(p).ok());
+
+  faults::ChaosInjector injector(&sim, &topo, &network, seed);
+  injector.AttachTrainer(&trainer);
+  injector.AttachDht(&dht);
+  faults::ChaosSchedule schedule;
+  schedule.Partition(net::kGcUs, net::kGcEu, 10 * 60, 5 * 60);
+  schedule.CrashNode(peers[3].node, 20 * 60, /*restart_after_sec=*/300);
+  EXPECT_TRUE(injector.Arm(schedule).ok());
+
+  EXPECT_TRUE(trainer.Start().ok());
+  sim.RunUntil(30 * 60.0);
+  trainer.Stop();
+
+  RenderedRun run;
+  run.trace_json = Telemetry::trace().ToChromeJson();
+  run.trace_csv = Telemetry::trace().ToCsv();
+  run.metrics_json = Telemetry::metrics().ToJson();
+  return run;
+}
+
+TEST_F(TelemetryTest, IdenticallySeededChaosRunsRenderByteIdentically) {
+  const RenderedRun first = ChaosRun(11);
+  const RenderedRun second = ChaosRun(11);
+  EXPECT_EQ(first.trace_json, second.trace_json);
+  EXPECT_EQ(first.trace_csv, second.trace_csv);
+  EXPECT_EQ(first.metrics_json, second.metrics_json);
+  // Chaos actually happened, so the equality above covers fault paths.
+  EXPECT_NE(first.trace_json.find("chaos"), std::string::npos);
+  EXPECT_GT(Telemetry::metrics().CounterValue("chaos.events"), 0.0);
+
+  const RenderedRun other = ChaosRun(12);
+  EXPECT_NE(first.trace_json, other.trace_json);
+}
+
+}  // namespace
+}  // namespace hivesim::telemetry

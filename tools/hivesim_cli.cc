@@ -12,6 +12,10 @@
 //     --spec "gc-us:4,gc-eu:4" VM groups site:count (gc-us, gc-eu,
 //                              gc-asia, gc-aus, aws, azure, lambda).
 //     --model / --tbs / --hours as above.
+//   run/fleet also accept:
+//     --trace-out PATH         Chrome trace_event JSON of the run
+//                              (open in https://ui.perfetto.dev).
+//     --metrics-out PATH       Counter/gauge/histogram snapshot as JSON.
 //   advise                     Rank training options by $/1M samples.
 //     --model M --min-sps S --sizes "2,4,8"
 //   profile                    iperf/ping between two sites.
@@ -39,6 +43,7 @@
 #include "net/profiler.h"
 #include "net/profiles.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -131,7 +136,30 @@ int CmdList() {
   return 0;
 }
 
+void EnableTelemetryIfRequested(const FlagSet& flags) {
+  if (!flags.GetString("trace-out", "").empty() ||
+      !flags.GetString("metrics-out", "").empty()) {
+    telemetry::Telemetry::Enable();
+  }
+}
+
+/// Writes the dumps requested via --trace-out/--metrics-out; 0 on success.
+int WriteTelemetryOutputs(const FlagSet& flags) {
+  const std::string trace = flags.GetString("trace-out", "");
+  if (!trace.empty() &&
+      !telemetry::Telemetry::trace().WriteChromeJson(trace)) {
+    return Fail(Status::IOError(StrCat("cannot write ", trace)));
+  }
+  const std::string metrics = flags.GetString("metrics-out", "");
+  if (!metrics.empty() &&
+      !telemetry::Telemetry::metrics().WriteJson(metrics)) {
+    return Fail(Status::IOError(StrCat("cannot write ", metrics)));
+  }
+  return 0;
+}
+
 int CmdRun(const FlagSet& flags) {
+  EnableTelemetryIfRequested(flags);
   auto series = SeriesFor(flags.GetString("series", "A"));
   if (!series.ok()) return Fail(series.status());
   auto model = models::ParseModelId(flags.GetString("model", "CONV"));
@@ -169,10 +197,11 @@ int CmdRun(const FlagSet& flags) {
     f << report.ToJson() << "\n";
     if (!f) return Fail(Status::IOError(StrCat("cannot write ", json_path)));
   }
-  return 0;
+  return WriteTelemetryOutputs(flags);
 }
 
 int CmdFleet(const FlagSet& flags) {
+  EnableTelemetryIfRequested(flags);
   auto cluster = ParseFleetSpec(flags.GetString("spec", "gc-us:8"));
   if (!cluster.ok()) return Fail(cluster.status());
   auto model = models::ParseModelId(flags.GetString("model", "CONV"));
@@ -204,7 +233,7 @@ int CmdFleet(const FlagSet& flags) {
     f << report.ToJson() << "\n";
     if (!f) return Fail(Status::IOError(StrCat("cannot write ", json_path)));
   }
-  return 0;
+  return WriteTelemetryOutputs(flags);
 }
 
 int CmdAdvise(const FlagSet& flags) {
