@@ -2,7 +2,10 @@
 # Tier-1 verification plus the sanitizer suite, exactly as CI runs it:
 #   1. RelWithDebInfo build (preset "default") + full ctest,
 #   2. ASan/UBSan build (preset "asan") + full ctest under sanitizers,
-#   3. a smoke run of the telemetry pipeline (trace_tour -> trace JSON ->
+#   3. ThreadSanitizer build (preset "tsan") running the concurrency
+#      surface — sweep_test (thread pool, parallel cells, aggregator) and
+#      telemetry_test (thread-local sink routing),
+#   4. a smoke run of the telemetry pipeline (trace_tour -> trace JSON ->
 #      scripts/trace_summary.py) so the observability path stays healthy.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,6 +19,11 @@ echo "=== sanitizers: configure + build + test (preset: asan) ==="
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)"
 ctest --preset asan -j "$(nproc)"
+
+echo "=== concurrency: configure + build + test (preset: tsan) ==="
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)" --target sweep_test telemetry_test
+ctest --preset tsan -j "$(nproc)" --tests-regex 'Sweep|ThreadPool|Telemetry'
 
 echo "=== telemetry smoke: trace_tour -> trace_summary.py ==="
 tmpdir="$(mktemp -d)"

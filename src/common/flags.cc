@@ -19,19 +19,29 @@ Status FlagSet::Parse(int argc, const char* const* argv) {
       return Status::InvalidArgument("empty flag name ('--')");
     }
     const size_t eq = arg.find('=');
+    std::string name;
+    std::string value;
     if (eq != std::string::npos) {
-      const std::string name = arg.substr(0, eq);
+      name = arg.substr(0, eq);
       if (name.empty()) return Status::InvalidArgument("empty flag name");
-      values_[name] = arg.substr(eq + 1);
-      continue;
-    }
-    // "--flag value" when the next token is not a flag; bare "--flag"
-    // otherwise (boolean).
-    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
-      values_[arg] = argv[++i];
+      value = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      // "--flag value" when the next token is not a flag; bare "--flag"
+      // otherwise (boolean).
+      name = std::move(arg);
+      value = argv[++i];
     } else {
-      values_[arg] = "true";
+      name = std::move(arg);
+      value = "true";
     }
+    // A repeated flag is always a mistake (a typo'd sweep axis would
+    // silently drop the first value and run the wrong grid): refuse
+    // loudly instead of letting the last occurrence win.
+    if (values_.count(name) > 0) {
+      return Status::InvalidArgument(
+          StrCat("flag --", name, " given more than once"));
+    }
+    values_.emplace(std::move(name), std::move(value));
   }
   return Status::OK();
 }

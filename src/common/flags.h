@@ -21,8 +21,10 @@ namespace hivesim {
 class FlagSet {
  public:
   /// Parses argv[1..). Returns InvalidArgument on a malformed flag
-  /// (empty name). Unknown flags are fine — callers validate with
-  /// `CheckKnown`.
+  /// (empty name) or a flag given more than once (a repeated flag is
+  /// always a typo; last-one-wins would silently run the wrong thing).
+  /// Unknown flags are accepted here — callers validate the full set
+  /// with `CheckKnown` and must reject leftovers loudly.
   Status Parse(int argc, const char* const* argv);
 
   bool Has(const std::string& name) const { return values_.count(name) > 0; }

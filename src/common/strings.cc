@@ -1,5 +1,6 @@
 #include "common/strings.h"
 
+#include <cctype>
 #include <cstdarg>
 
 namespace hivesim {
@@ -48,6 +49,23 @@ std::vector<std::string> StrSplit(std::string_view text, char sep) {
 bool StartsWith(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() &&
          text.substr(0, prefix.size()) == prefix;
+}
+
+std::string Slugify(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool last_was_sep = true;  // Suppress a leading '_'.
+  for (const char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      last_was_sep = false;
+    } else if (!last_was_sep) {
+      out += '_';
+      last_was_sep = true;
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
 }
 
 }  // namespace hivesim

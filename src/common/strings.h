@@ -33,6 +33,10 @@ std::vector<std::string> StrSplit(std::string_view text, char sep);
 /// True if `text` begins with `prefix`.
 bool StartsWith(std::string_view text, std::string_view prefix);
 
+/// Lowercases and replaces every non-alphanumeric run with '_' (file
+/// names derived from experiment/cell titles).
+std::string Slugify(std::string_view text);
+
 }  // namespace hivesim
 
 #endif  // HIVESIM_COMMON_STRINGS_H_

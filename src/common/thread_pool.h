@@ -1,0 +1,61 @@
+#ifndef HIVESIM_COMMON_THREAD_POOL_H_
+#define HIVESIM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hivesim {
+
+/// Fixed-size worker pool for embarrassingly parallel jobs (the sweep
+/// engine's per-cell simulations). Tasks run in FIFO submission order but
+/// complete in whatever order the scheduler allows — callers that need
+/// deterministic output must key results by task index, never by
+/// completion order (see `core::SweepAggregator`).
+///
+///   ThreadPool pool(8);
+///   for (size_t i = 0; i < cells.size(); ++i)
+///     pool.Submit([i, &results] { results[i] = RunCell(i); });
+///   pool.Wait();
+///
+/// With `num_threads == 1` the pool still runs tasks on its single worker
+/// thread (not inline), so the serial and parallel configurations exercise
+/// the identical code path — which is what lets the determinism oracle
+/// compare them byte for byte.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  /// Waits for all submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after Shutdown().
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished (queue empty and no
+  /// task in flight). More tasks may be submitted afterwards.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;   ///< Signals workers.
+  std::condition_variable all_done_;     ///< Signals Wait().
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;   ///< Tasks popped but not yet finished.
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hivesim
+
+#endif  // HIVESIM_COMMON_THREAD_POOL_H_

@@ -10,14 +10,14 @@
 
 namespace hivesim::core {
 
-Result<ExperimentResult> RunHivemindExperiment(
+Result<std::unique_ptr<ExperimentWorld>> BuildExperimentWorld(
     const ClusterSpec& cluster_spec, const ExperimentConfig& config) {
-  sim::Simulator sim;
-  net::Topology topology = net::StandardWorld();
-  Cluster cluster;
-  HIVESIM_ASSIGN_OR_RETURN(cluster,
-                           Cluster::Provision(&topology, cluster_spec));
-  net::Network network(&sim, &topology);
+  auto world = std::make_unique<ExperimentWorld>();
+  world->topology = net::StandardWorld();
+  HIVESIM_ASSIGN_OR_RETURN(
+      world->cluster, Cluster::Provision(&world->topology, cluster_spec));
+  world->network =
+      std::make_unique<net::Network>(&world->sim, &world->topology);
 
   hivemind::TrainerConfig trainer_config;
   trainer_config.model = config.model;
@@ -27,11 +27,30 @@ Result<ExperimentResult> RunHivemindExperiment(
   trainer_config.strategy = config.strategy;
   trainer_config.streams_per_transfer = config.streams_per_transfer;
   trainer_config.seed = config.seed;
-
-  hivemind::Trainer trainer(&network, trainer_config);
-  for (const hivemind::PeerSpec& peer : cluster.PeerSpecs()) {
-    HIVESIM_RETURN_IF_ERROR(trainer.AddPeer(peer));
+  if (config.averaging_round_timeout_sec > 0) {
+    trainer_config.averaging_round_timeout_sec =
+        config.averaging_round_timeout_sec;
   }
+  if (config.averaging_retry_base_sec > 0) {
+    trainer_config.averaging_retry_base_sec = config.averaging_retry_base_sec;
+  }
+  if (config.averaging_max_retries > 0) {
+    trainer_config.averaging_max_retries = config.averaging_max_retries;
+  }
+
+  world->trainer =
+      std::make_unique<hivemind::Trainer>(world->network.get(), trainer_config);
+  for (const hivemind::PeerSpec& peer : world->cluster.PeerSpecs()) {
+    HIVESIM_RETURN_IF_ERROR(world->trainer->AddPeer(peer));
+  }
+  return world;
+}
+
+Result<ExperimentResult> CompleteExperiment(ExperimentWorld& world,
+                                            const ExperimentConfig& config) {
+  const net::Topology& topology = world.topology;
+  net::Network& network = *world.network;
+  hivemind::Trainer& trainer = *world.trainer;
 
   ExperimentResult result;
   HIVESIM_ASSIGN_OR_RETURN(result.train,
@@ -42,7 +61,7 @@ Result<ExperimentResult> RunHivemindExperiment(
   const double hours = duration / kHour;
 
   // Per-VM billing: egress bucketed by destination site, plus B2 data.
-  const auto& members = cluster.members();
+  const auto& members = world.cluster.members();
   for (const Cluster::Member& member : members) {
     cloud::VmUsage usage;
     usage.type = member.type;
@@ -82,6 +101,14 @@ Result<ExperimentResult> RunHivemindExperiment(
   result.cost_per_million_excl_data = cloud::CostPerMillionSamples(
       result.fleet_cost_per_hour_excl_data, result.train.throughput_sps);
   return result;
+}
+
+Result<ExperimentResult> RunHivemindExperiment(
+    const ClusterSpec& cluster_spec, const ExperimentConfig& config) {
+  std::unique_ptr<ExperimentWorld> world;
+  HIVESIM_ASSIGN_OR_RETURN(world,
+                           BuildExperimentWorld(cluster_spec, config));
+  return CompleteExperiment(*world, config);
 }
 
 Result<CentralizedResult> RunCentralizedBaseline(cloud::VmTypeId type,

@@ -1,6 +1,7 @@
 #ifndef HIVESIM_CORE_EXPERIMENT_H_
 #define HIVESIM_CORE_EXPERIMENT_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,8 @@
 #include "core/cluster.h"
 #include "hivemind/trainer.h"
 #include "models/model_zoo.h"
+#include "net/network.h"
+#include "sim/simulator.h"
 
 namespace hivesim::core {
 
@@ -23,6 +26,13 @@ struct ExperimentConfig {
   collective::Strategy strategy = collective::Strategy::kAuto;
   int streams_per_transfer = 1;
   uint64_t seed = 1;
+
+  // --- Churn hardening (forwarded to TrainerConfig; the sweep engine's
+  // chaos cells tighten these so partitions degrade instead of stall) ---
+  /// 0 keeps the trainer's default; see TrainerConfig for semantics.
+  double averaging_round_timeout_sec = 0;
+  double averaging_retry_base_sec = 0;
+  int averaging_max_retries = 0;
 };
 
 /// Everything a bench needs to print a paper row.
@@ -41,9 +51,42 @@ struct ExperimentResult {
   std::vector<double> avg_egress_bps;      ///< Per-VM average egress rate.
 };
 
+/// A fully provisioned experiment universe: its own simulator, a private
+/// copy of the standard-world topology, the provisioned fleet, and a
+/// trainer with every peer joined — everything mutable an experiment
+/// touches, owned by one object. Nothing in here is shared between
+/// worlds, which is what makes concurrent sweep cells safe; the immutable
+/// inputs (VM/pricing catalog, model calibration tables, site profiles)
+/// are const lookup tables and may be read from any number of worlds.
+///
+/// The world is built paused between provisioning and training so callers
+/// can attach machinery that must observe the run from t=0 — the sweep
+/// engine arms a `faults::ChaosInjector` against `sim`/`topology`/
+/// `network`/`trainer` here. Not movable (the simulator pins itself as
+/// the thread's log-clock), so it lives behind a unique_ptr.
+struct ExperimentWorld {
+  sim::Simulator sim;
+  net::Topology topology;
+  Cluster cluster;
+  std::unique_ptr<net::Network> network;
+  std::unique_ptr<hivemind::Trainer> trainer;
+};
+
+/// Provisions the fleet on a fresh copy of the standard world and joins
+/// every peer to a configured trainer; training has not started yet.
+Result<std::unique_ptr<ExperimentWorld>> BuildExperimentWorld(
+    const ClusterSpec& cluster, const ExperimentConfig& config);
+
+/// Trains the built world for the configured duration and prices the run
+/// (instance + egress split + B2 data). Consumes the world's simulation
+/// (call once per world).
+Result<ExperimentResult> CompleteExperiment(ExperimentWorld& world,
+                                            const ExperimentConfig& config);
+
 /// Runs a decentralized (Hivemind) training experiment on a fresh copy of
 /// the standard world: provisions the fleet, trains for the configured
 /// duration, and prices the run (instance + egress split + B2 data).
+/// Equivalent to BuildExperimentWorld + CompleteExperiment.
 Result<ExperimentResult> RunHivemindExperiment(const ClusterSpec& cluster,
                                                const ExperimentConfig& config);
 

@@ -1,0 +1,326 @@
+#include "core/sweep.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/json.h"
+#include "common/strings.h"
+#include "core/report.h"
+
+namespace hivesim::core {
+
+namespace {
+
+/// Distinct member sites in first-appearance order.
+std::vector<net::SiteId> DistinctSites(const Cluster& cluster) {
+  std::vector<net::SiteId> sites;
+  for (const Cluster::Member& member : cluster.members()) {
+    if (std::find(sites.begin(), sites.end(), member.site) == sites.end()) {
+      sites.push_back(member.site);
+    }
+  }
+  return sites;
+}
+
+template <typename T>
+bool HasDuplicates(const std::vector<T>& values) {
+  return std::set<T>(values.begin(), values.end()).size() != values.size();
+}
+
+}  // namespace
+
+Result<ChaosPreset> ParseChaosPreset(std::string_view name) {
+  if (name == "none") return ChaosPreset::kNone;
+  if (name == "wan-degrade") return ChaosPreset::kWanDegrade;
+  if (name == "partition") return ChaosPreset::kPartition;
+  if (name == "churn") return ChaosPreset::kChurn;
+  return Status::InvalidArgument(
+      StrCat("unknown chaos preset '", name,
+             "' (none, wan-degrade, partition, churn)"));
+}
+
+std::string_view ChaosPresetName(ChaosPreset preset) {
+  switch (preset) {
+    case ChaosPreset::kNone:
+      return "none";
+    case ChaosPreset::kWanDegrade:
+      return "wan-degrade";
+    case ChaosPreset::kPartition:
+      return "partition";
+    case ChaosPreset::kChurn:
+      return "churn";
+  }
+  return "?";
+}
+
+faults::ChaosSchedule BuildChaosSchedule(ChaosPreset preset,
+                                         const Cluster& cluster,
+                                         const net::Topology& topology,
+                                         double duration_sec) {
+  (void)topology;
+  faults::ChaosSchedule schedule;
+  if (preset == ChaosPreset::kNone || cluster.members().empty()) {
+    return schedule;
+  }
+  const std::vector<net::SiteId> sites = DistinctSites(cluster);
+  const net::SiteId a = sites.front();
+  const net::SiteId b = sites.size() > 1 ? sites[1] : sites.front();
+  switch (preset) {
+    case ChaosPreset::kNone:
+      break;
+    case ChaosPreset::kWanDegrade:
+      schedule.DegradeWan(a, b, 0.25 * duration_sec, 0.25 * duration_sec,
+                          0.10, MsToSec(100));
+      break;
+    case ChaosPreset::kPartition:
+      if (sites.size() > 1) {
+        schedule.Partition(a, b, 0.5 * duration_sec, 0.125 * duration_sec);
+      } else {
+        schedule.DegradeWan(a, b, 0.5 * duration_sec, 0.125 * duration_sec,
+                            0.10, MsToSec(100));
+      }
+      break;
+    case ChaosPreset::kChurn: {
+      std::vector<net::NodeId> nodes;
+      for (size_t i = 1; i < cluster.members().size(); ++i) {
+        nodes.push_back(cluster.members()[i].node);
+      }
+      if (nodes.empty()) break;
+      const int crashes = std::min<int>(2, static_cast<int>(nodes.size()));
+      schedule.CrashStorm(std::move(nodes), 0.4 * duration_sec,
+                          0.2 * duration_sec, crashes,
+                          /*restart_after_sec=*/600);
+      break;
+    }
+  }
+  return schedule;
+}
+
+Status SweepSpec::Validate() const {
+  if (clusters.empty()) {
+    return Status::InvalidArgument("sweep spec has no cluster layouts");
+  }
+  if (models.empty() || target_batch_sizes.empty() || seeds.empty() ||
+      chaos.empty()) {
+    return Status::InvalidArgument(
+        "every sweep axis needs at least one value");
+  }
+  for (const int tbs : target_batch_sizes) {
+    if (tbs <= 0) {
+      return Status::InvalidArgument(
+          StrCat("target batch size must be positive, got ", tbs));
+    }
+  }
+  if (duration_sec <= 0) {
+    return Status::InvalidArgument("sweep duration must be positive");
+  }
+  if (streams_per_transfer < 1) {
+    return Status::InvalidArgument("streams_per_transfer must be >= 1");
+  }
+  std::vector<std::string> cluster_names;
+  cluster_names.reserve(clusters.size());
+  for (const NamedExperiment& cluster : clusters) {
+    if (cluster.cluster.groups.empty()) {
+      return Status::InvalidArgument(
+          StrCat("cluster '", cluster.name, "' has no VM groups"));
+    }
+    cluster_names.push_back(cluster.name);
+  }
+  // Duplicate axis values would expand into colliding cell names (and
+  // silently double work); a typo'd repeated value is always a bug.
+  if (HasDuplicates(cluster_names)) {
+    return Status::InvalidArgument("duplicate cluster name in sweep spec");
+  }
+  if (HasDuplicates(models)) {
+    return Status::InvalidArgument("duplicate model in sweep spec");
+  }
+  if (HasDuplicates(target_batch_sizes)) {
+    return Status::InvalidArgument(
+        "duplicate target batch size in sweep spec");
+  }
+  if (HasDuplicates(seeds)) {
+    return Status::InvalidArgument("duplicate seed in sweep spec");
+  }
+  if (HasDuplicates(chaos)) {
+    return Status::InvalidArgument("duplicate chaos preset in sweep spec");
+  }
+  return Status::OK();
+}
+
+size_t SweepSpec::NumCells() const {
+  return clusters.size() * models.size() * target_batch_sizes.size() *
+         seeds.size() * chaos.size();
+}
+
+std::vector<SweepCell> ExpandSweep(const SweepSpec& spec) {
+  std::vector<SweepCell> cells;
+  cells.reserve(spec.NumCells());
+  for (const NamedExperiment& cluster : spec.clusters) {
+    for (const models::ModelId model : spec.models) {
+      for (const int tbs : spec.target_batch_sizes) {
+        for (const uint64_t seed : spec.seeds) {
+          for (const ChaosPreset chaos : spec.chaos) {
+            SweepCell cell;
+            cell.index = cells.size();
+            cell.cluster = cluster;
+            cell.chaos = chaos;
+            cell.name = StrCat(cluster.name, "/", models::ModelName(model),
+                               "/tbs", tbs, "/seed", seed);
+            if (chaos != ChaosPreset::kNone) {
+              cell.name = StrCat(cell.name, "/", ChaosPresetName(chaos));
+            }
+            cell.slug = Slugify(cell.name);
+
+            cell.config.model = model;
+            cell.config.target_batch_size = tbs;
+            cell.config.duration_sec = spec.duration_sec;
+            cell.config.delayed_parameter_updates =
+                spec.delayed_parameter_updates;
+            cell.config.compression = spec.compression;
+            cell.config.strategy = spec.strategy;
+            cell.config.streams_per_transfer = spec.streams_per_transfer;
+            cell.config.seed = seed;
+            if (chaos != ChaosPreset::kNone) {
+              // Section 7 hardening: abort rounds a partition froze and
+              // degrade to the surviving peers after two retries.
+              cell.config.averaging_round_timeout_sec = 120;
+              cell.config.averaging_retry_base_sec = 1.0;
+              cell.config.averaging_max_retries = 2;
+            }
+            cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+// --- SweepAggregator ---
+
+SweepAggregator::SweepAggregator(SweepSpec spec, std::vector<SweepCell> cells)
+    : spec_(std::move(spec)),
+      cells_(std::move(cells)),
+      outcomes_(cells_.size()),
+      present_(cells_.size(), false) {}
+
+void SweepAggregator::Add(size_t index, SweepCellOutcome outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= cells_.size() || present_[index]) return;
+  outcomes_[index] = std::move(outcome);
+  present_[index] = true;
+  ++added_;
+}
+
+size_t SweepAggregator::added() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return added_;
+}
+
+bool SweepAggregator::complete() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return added_ == cells_.size();
+}
+
+int SweepAggregator::failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int failures = 0;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (present_[i] && !outcomes_[i].ok) ++failures;
+  }
+  return failures;
+}
+
+std::string SweepAggregator::ReportJson() const {
+  ReportBuilder report(spec_.title);
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (present_[i] && outcomes_[i].ok) {
+      report.Add(cells_[i].name, outcomes_[i].result);
+    }
+  }
+  return report.ToJson();
+}
+
+std::string SweepAggregator::ReportCsv() const {
+  ReportBuilder report(spec_.title);
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (present_[i] && outcomes_[i].ok) {
+      report.Add(cells_[i].name, outcomes_[i].result);
+    }
+  }
+  return report.ToCsv();
+}
+
+std::string SweepAggregator::ManifestJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("title").String(spec_.title);
+  json.Key("axes").BeginObject();
+  json.Key("clusters").BeginArray();
+  for (const NamedExperiment& cluster : spec_.clusters) {
+    json.String(cluster.name);
+  }
+  json.EndArray();
+  json.Key("models").BeginArray();
+  for (const models::ModelId model : spec_.models) {
+    json.String(std::string(models::ModelName(model)));
+  }
+  json.EndArray();
+  json.Key("target_batch_sizes").BeginArray();
+  for (const int tbs : spec_.target_batch_sizes) json.Int(tbs);
+  json.EndArray();
+  json.Key("seeds").BeginArray();
+  for (const uint64_t seed : spec_.seeds) {
+    json.Int(static_cast<int64_t>(seed));
+  }
+  json.EndArray();
+  json.Key("chaos").BeginArray();
+  for (const ChaosPreset preset : spec_.chaos) {
+    json.String(std::string(ChaosPresetName(preset)));
+  }
+  json.EndArray();
+  json.Key("duration_sec").Number(spec_.duration_sec);
+  json.EndObject();
+  json.Key("num_cells").Int(static_cast<int64_t>(cells_.size()));
+  json.Key("failures").Int(failures());
+  json.Key("cells").BeginArray();
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    const SweepCell& cell = cells_[i];
+    const SweepCellOutcome& outcome = outcomes_[i];
+    json.BeginObject();
+    json.Key("index").Int(static_cast<int64_t>(cell.index));
+    json.Key("name").String(cell.name);
+    json.Key("slug").String(cell.slug);
+    json.Key("cluster").String(cell.cluster.name);
+    json.Key("model").String(std::string(models::ModelName(cell.config.model)));
+    json.Key("tbs").Int(cell.config.target_batch_size);
+    json.Key("seed").Int(static_cast<int64_t>(cell.config.seed));
+    json.Key("chaos").String(std::string(ChaosPresetName(cell.chaos)));
+    json.Key("ok").Bool(present_[i] && outcome.ok);
+    if (present_[i] && !outcome.ok) json.Key("error").String(outcome.error);
+    if (cell.chaos != ChaosPreset::kNone && present_[i] && outcome.ok) {
+      json.Key("chaos_fingerprint")
+          .String(StrFormat("%016llx", static_cast<unsigned long long>(
+                                           outcome.chaos_fingerprint)));
+    }
+    if (present_[i] && outcome.ok) {
+      json.Key("sps").Number(outcome.result.train.throughput_sps);
+      json.Key("epochs").Int(outcome.result.train.epochs);
+      json.Key("usd_per_million").Number(outcome.result.cost_per_million);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.ToString();
+}
+
+std::string SweepAggregator::MergedMetricsJson() const {
+  telemetry::MetricsRegistry merged;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (present_[i]) merged.Merge(outcomes_[i].metrics);
+  }
+  return merged.ToJson();
+}
+
+}  // namespace hivesim::core

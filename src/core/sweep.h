@@ -1,0 +1,151 @@
+#ifndef HIVESIM_CORE_SWEEP_H_
+#define HIVESIM_CORE_SWEEP_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/units.h"
+#include "core/catalog.h"
+#include "core/experiment.h"
+#include "faults/chaos.h"
+#include "telemetry/telemetry.h"
+
+namespace hivesim::core {
+
+/// Named chaos scripts a sweep cell can opt into. Presets are resolved
+/// against the cell's *provisioned* cluster (concrete sites and node ids)
+/// by `BuildChaosSchedule`, so the same preset means "the same failure,
+/// relative to this fleet" across every cell of the grid. All presets are
+/// fully deterministic given the cell seed.
+enum class ChaosPreset {
+  kNone,
+  /// The WAN path between the fleet's first two distinct sites degrades
+  /// to 10% bandwidth +100 ms for the middle quarter of the run.
+  kWanDegrade,
+  /// Full partition of that path for run fraction [0.5, 0.625]. Fleets
+  /// living in a single site get the degrade window instead (partitioning
+  /// a site against itself would sever every peer from every other).
+  kPartition,
+  /// A churn burst over run fraction [0.4, 0.6): up to two peers (never
+  /// the first, so the swarm survives) crash and return 10 minutes later.
+  kChurn,
+};
+
+/// Parses "none", "wan-degrade", "partition", "churn".
+Result<ChaosPreset> ParseChaosPreset(std::string_view name);
+std::string_view ChaosPresetName(ChaosPreset preset);
+
+/// The concrete schedule of `preset` for a provisioned cluster; empty for
+/// kNone. `duration_sec` anchors the event windows.
+faults::ChaosSchedule BuildChaosSchedule(ChaosPreset preset,
+                                         const Cluster& cluster,
+                                         const net::Topology& topology,
+                                         double duration_sec);
+
+/// A figure grid as data: the cross product of cluster layouts, models,
+/// target batch sizes, seeds, and chaos scripts, sharing one duration and
+/// trainer configuration. Every paper figure is one of these (Fig. 3 =
+/// suitability models x {8K,16K,32K} on 2xA10; Fig. 7-10 = the A/B/C/D
+/// series; ...). Expansion order is the documented, stable cell order:
+/// clusters outermost, then models, batch sizes, seeds, chaos innermost.
+struct SweepSpec {
+  std::string title = "sweep";
+  std::vector<NamedExperiment> clusters;               ///< Required.
+  std::vector<models::ModelId> models = {models::ModelId::kConvNextLarge};
+  std::vector<int> target_batch_sizes = {32768};
+  std::vector<uint64_t> seeds = {1};
+  std::vector<ChaosPreset> chaos = {ChaosPreset::kNone};
+  double duration_sec = 2 * kHour;
+
+  // Shared trainer knobs (not axes; add an axis when a figure needs one).
+  bool delayed_parameter_updates = true;
+  models::Compression compression = models::Compression::kFp16;
+  collective::Strategy strategy = collective::Strategy::kAuto;
+  int streams_per_transfer = 1;
+
+  /// Non-empty axes, positive TBS/duration, no duplicate cell names.
+  Status Validate() const;
+  size_t NumCells() const;
+};
+
+/// One expanded grid point: everything `RunHivemindExperiment` needs,
+/// plus identity. `index` is the cell's position in expansion order and
+/// is the *only* ordering the engine ever uses — completion order is
+/// scheduling noise.
+struct SweepCell {
+  size_t index = 0;
+  std::string name;  ///< "A-8/CONV/tbs32768/seed1[/partition]".
+  std::string slug;  ///< Slugified name (per-run output file stems).
+  NamedExperiment cluster;
+  ExperimentConfig config;
+  ChaosPreset chaos = ChaosPreset::kNone;
+};
+
+/// Expands the spec's cross product in documented order. Chaos cells get
+/// the Section 7 churn hardening (2-minute round watchdog, fast retry,
+/// degrade after two failures) so partitions degrade instead of stalling
+/// the whole window.
+std::vector<SweepCell> ExpandSweep(const SweepSpec& spec);
+
+/// Everything one finished cell produced. Captured telemetry renderings
+/// are byte-stable for a fixed cell (sim-time stamped, private sinks), so
+/// the determinism oracle can compare them across thread counts.
+struct SweepCellOutcome {
+  bool ok = false;
+  std::string error;                 ///< Status string when !ok.
+  ExperimentResult result;           ///< Valid when ok.
+  uint64_t chaos_fingerprint = 0;    ///< Injector trace FNV; 0 when no chaos.
+  telemetry::MetricsRegistry metrics;  ///< Per-run registry (may be empty).
+  std::string trace_json;            ///< Chrome trace (telemetry runs only).
+  std::string metrics_json;          ///< Registry JSON (telemetry runs only).
+};
+
+/// Collects cell outcomes in any completion order and renders them in
+/// cell order, so its every output is a pure function of the outcomes —
+/// independent of thread count, scheduling, or insertion permutation
+/// (property-tested). Add() is thread-safe; the renderings require
+/// complete().
+class SweepAggregator {
+ public:
+  SweepAggregator(SweepSpec spec, std::vector<SweepCell> cells);
+
+  /// Records cell `index`'s outcome (exactly once per cell).
+  void Add(size_t index, SweepCellOutcome outcome);
+
+  size_t added() const;
+  bool complete() const;
+  int failures() const;
+
+  const SweepSpec& spec() const { return spec_; }
+  const std::vector<SweepCell>& cells() const { return cells_; }
+  /// Outcome of cell `index`; meaningful once that cell was added.
+  const SweepCellOutcome& outcome(size_t index) const {
+    return outcomes_[index];
+  }
+
+  /// The bench/CLI report schemas over the successful cells, in cell
+  /// order (same JSON/CSV layout `hivesim run --json/--csv` emits).
+  std::string ReportJson() const;
+  std::string ReportCsv() const;
+  /// Sweep manifest: the spec's axes plus one entry per cell (status,
+  /// axis values, chaos fingerprint, headline numbers).
+  std::string ManifestJson() const;
+  /// All per-run metric registries folded with MetricsRegistry::Merge.
+  std::string MergedMetricsJson() const;
+
+ private:
+  SweepSpec spec_;
+  std::vector<SweepCell> cells_;
+  std::vector<SweepCellOutcome> outcomes_;
+  std::vector<bool> present_;
+  size_t added_ = 0;
+  mutable std::mutex mu_;
+};
+
+}  // namespace hivesim::core
+
+#endif  // HIVESIM_CORE_SWEEP_H_

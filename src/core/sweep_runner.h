@@ -1,0 +1,53 @@
+#ifndef HIVESIM_CORE_SWEEP_RUNNER_H_
+#define HIVESIM_CORE_SWEEP_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/sweep.h"
+
+namespace hivesim::core {
+
+/// How to execute a sweep. Thread count and output directory are pure
+/// execution concerns: nothing about them leaks into the rendered
+/// results, which is what makes `--threads=1` and `--threads=N` byte
+/// comparable (the determinism oracle's contract).
+struct SweepOptions {
+  /// Worker threads (clamped to >= 1). Each cell owns a private
+  /// simulator/network/trainer world; the only shared inputs are const
+  /// catalog/calibration tables, so cells scale until memory bandwidth.
+  int threads = 1;
+  /// Record per-cell trace + metrics into private sinks and keep the
+  /// renderings in each outcome (and under `out_dir` when set).
+  bool per_run_telemetry = false;
+  /// When non-empty: write report.json / report.csv / manifest.json /
+  /// metrics_merged.json here, plus runs/<slug>.trace.json and
+  /// runs/<slug>.metrics.json per cell when per_run_telemetry is on.
+  std::string out_dir;
+};
+
+/// A finished sweep: per-cell outcomes (cell order) and the aggregated
+/// renderings. `wall_sec` is the only wall-clock-dependent field and is
+/// never written to any output file.
+struct SweepRunSummary {
+  std::vector<SweepCell> cells;
+  std::vector<SweepCellOutcome> outcomes;
+  std::string report_json;
+  std::string report_csv;
+  std::string manifest_json;
+  std::string merged_metrics_json;
+  int failures = 0;
+  double wall_sec = 0;
+};
+
+/// Validates and expands `spec`, executes every cell on a fixed-size
+/// thread pool, aggregates in cell order, and (optionally) writes the
+/// output tree. Individual cell failures are recorded in the manifest
+/// and do not fail the sweep; only invalid specs and I/O errors do.
+Result<SweepRunSummary> RunSweep(const SweepSpec& spec,
+                                 const SweepOptions& options);
+
+}  // namespace hivesim::core
+
+#endif  // HIVESIM_CORE_SWEEP_RUNNER_H_

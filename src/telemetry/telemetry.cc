@@ -231,6 +231,37 @@ bool MetricsRegistry::WriteJson(const std::string& path) const {
   return WriteFile(path, ToJson() + "\n");
 }
 
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    Count(name, value);
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    const auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      gauges_.emplace(name, value);
+    } else if (value > it->second) {
+      it->second = value;
+    }
+  }
+  for (const auto& [name, theirs] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, theirs);
+      continue;
+    }
+    Histogram& ours = it->second;
+    if (ours.bounds != theirs.bounds) {
+      Count(name + "#merge_conflicts", static_cast<double>(theirs.total));
+      continue;
+    }
+    for (size_t i = 0; i < ours.counts.size(); ++i) {
+      ours.counts[i] += theirs.counts[i];
+    }
+    ours.sum += theirs.sum;
+    ours.total += theirs.total;
+  }
+}
+
 void MetricsRegistry::Clear() {
   counters_.clear();
   gauges_.clear();
@@ -257,19 +288,35 @@ std::string LabeledName(
 
 // --- Telemetry ---
 
-TraceRecorder& Telemetry::trace() {
+TraceRecorder& Telemetry::global_trace() {
   static TraceRecorder recorder;
   return recorder;
 }
 
-MetricsRegistry& Telemetry::metrics() {
+MetricsRegistry& Telemetry::global_metrics() {
   static MetricsRegistry registry;
   return registry;
 }
 
+Telemetry::ScopedSinks::ScopedSinks(TraceRecorder* trace,
+                                    MetricsRegistry* metrics)
+    : prev_trace_(tls_trace_),
+      prev_metrics_(tls_metrics_),
+      prev_active_(tls_active_) {
+  tls_trace_ = trace;
+  tls_metrics_ = metrics;
+  tls_active_ = true;
+}
+
+Telemetry::ScopedSinks::~ScopedSinks() {
+  tls_trace_ = prev_trace_;
+  tls_metrics_ = prev_metrics_;
+  tls_active_ = prev_active_;
+}
+
 void Telemetry::Reset() {
-  trace().Clear();
-  metrics().Clear();
+  global_trace().Clear();
+  global_metrics().Clear();
 }
 
 }  // namespace hivesim::telemetry

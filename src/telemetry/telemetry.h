@@ -96,6 +96,15 @@ class MetricsRegistry {
   std::string ToJson() const;
   bool WriteJson(const std::string& path) const;
 
+  /// Folds `other` into this registry so the result is independent of
+  /// merge order (the sweep aggregator merges per-run registries from
+  /// concurrently completed cells): counters sum, gauges keep the maximum
+  /// (a permutation-invariant "peak over runs"), histograms add bucket
+  /// counts when the bucket bounds match — mismatched bounds keep the
+  /// first definition and fold `other`'s observations into a
+  /// `<name>#merge_conflicts` counter instead of silently misbinning.
+  void Merge(const MetricsRegistry& other);
+
   void Clear();
 
  private:
@@ -121,22 +130,61 @@ std::string LabeledName(
 /// instrumentation site guards on `Enabled()` (one branch on a plain bool)
 /// before touching the recorder, so benches and tests that never opt in
 /// pay near-zero overhead.
+///
+/// Thread-safety contract: the process-global sinks and the enable switch
+/// are *not* synchronized — `Enable`/`Disable`/`Reset` must only be
+/// called while no other thread is inside instrumented code (the sweep
+/// runner flips the switch before spawning its pool and after joining
+/// it). Concurrent simulations each install their own sinks with
+/// `ScopedSinks`, which routes that thread's recording into private
+/// recorders via thread-local pointers; nothing is shared, so no locks
+/// sit on the instrumentation fast path.
 class Telemetry {
  public:
-  static bool Enabled() { return enabled_; }
-  static bool Disabled() { return !enabled_; }
+  static bool Enabled() { return tls_active_ || enabled_; }
+  static bool Disabled() { return !Enabled(); }
   static void Enable() { enabled_ = true; }
   static void Disable() { enabled_ = false; }
 
-  static TraceRecorder& trace();
-  static MetricsRegistry& metrics();
+  /// The calling thread's sinks: the ScopedSinks overrides when one is
+  /// installed on this thread, the process-global instances otherwise.
+  static TraceRecorder& trace() {
+    return tls_trace_ ? *tls_trace_ : global_trace();
+  }
+  static MetricsRegistry& metrics() {
+    return tls_metrics_ ? *tls_metrics_ : global_metrics();
+  }
 
-  /// Clears both sinks (fresh run / determinism replay); the enabled
-  /// state is left unchanged.
+  /// Routes this thread's telemetry into caller-owned sinks for the
+  /// scope's lifetime and forces `Enabled()` on this thread, regardless
+  /// of the process-global switch. Scopes nest (LIFO); each sweep worker
+  /// wraps one cell's simulation so concurrent cells never alias state.
+  class ScopedSinks {
+   public:
+    ScopedSinks(TraceRecorder* trace, MetricsRegistry* metrics);
+    ~ScopedSinks();
+
+    ScopedSinks(const ScopedSinks&) = delete;
+    ScopedSinks& operator=(const ScopedSinks&) = delete;
+
+   private:
+    TraceRecorder* prev_trace_;
+    MetricsRegistry* prev_metrics_;
+    bool prev_active_;
+  };
+
+  /// Clears both process-global sinks (fresh run / determinism replay);
+  /// the enabled state and any thread-local overrides are left unchanged.
   static void Reset();
 
  private:
+  static TraceRecorder& global_trace();
+  static MetricsRegistry& global_metrics();
+
   static inline bool enabled_ = false;
+  static inline thread_local TraceRecorder* tls_trace_ = nullptr;
+  static inline thread_local MetricsRegistry* tls_metrics_ = nullptr;
+  static inline thread_local bool tls_active_ = false;
 };
 
 // --- Guarded convenience wrappers (no-ops while telemetry is off) ---

@@ -64,6 +64,25 @@ TEST(FlagSetTest, EmptyFlagNameRejected) {
   EXPECT_EQ(flags.Parse(2, argv).code(), StatusCode::kInvalidArgument);
 }
 
+// Regression: a repeated flag used to be last-one-wins, which silently
+// dropped the first value (`--tbs 8192 ... --tbs 32768` ran the wrong
+// grid). Parse now refuses, naming the flag.
+TEST(FlagSetTest, RepeatedFlagRejected) {
+  const char* argv[] = {"prog", "--tbs=8192", "--tbs", "32768"};
+  FlagSet flags;
+  const Status status = flags.Parse(4, argv);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("--tbs"), std::string::npos);
+  EXPECT_NE(status.ToString().find("more than once"), std::string::npos);
+}
+
+TEST(FlagSetTest, RepeatedFlagRejectedAcrossForms) {
+  // Same flag through different syntaxes (bare boolean, then =value).
+  const char* argv[] = {"prog", "--telemetry", "--telemetry=false"};
+  FlagSet flags;
+  EXPECT_EQ(flags.Parse(3, argv).code(), StatusCode::kInvalidArgument);
+}
+
 // --- JsonWriter ---
 
 TEST(JsonTest, ObjectWithMixedValues) {

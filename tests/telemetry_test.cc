@@ -252,6 +252,94 @@ RenderedRun ChaosRun(uint64_t seed) {
   return run;
 }
 
+TEST_F(TelemetryTest, MergeSumsCountersMaxesGaugesAndAddsBuckets) {
+  MetricsRegistry a;
+  a.Count("cells", 2);
+  a.Count("only_a", 1);
+  a.SetGauge("peak", 5);
+  a.SetGauge("only_a_gauge", 1);
+  a.DefineHistogram("round_sec", {1, 10});
+  a.Observe("round_sec", 0.5);
+  a.Observe("round_sec", 7);
+
+  MetricsRegistry b;
+  b.Count("cells", 3);
+  b.SetGauge("peak", 4);
+  b.DefineHistogram("round_sec", {1, 10});
+  b.Observe("round_sec", 100);
+
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.CounterValue("cells"), 5.0);
+  EXPECT_DOUBLE_EQ(a.CounterValue("only_a"), 1.0);
+  EXPECT_DOUBLE_EQ(a.GaugeOr("peak", -1), 5.0);  // Max, not last-write.
+  EXPECT_DOUBLE_EQ(a.GaugeOr("only_a_gauge", -1), 1.0);
+  EXPECT_EQ(a.HistogramCount("round_sec"), 3u);
+
+  // Merge must commute (the aggregator folds registries from whatever
+  // order cells complete in): b <- a gives the same totals.
+  MetricsRegistry c;
+  c.Count("cells", 3);
+  c.SetGauge("peak", 4);
+  c.DefineHistogram("round_sec", {1, 10});
+  c.Observe("round_sec", 100);
+  MetricsRegistry d;
+  d.Count("cells", 2);
+  d.Count("only_a", 1);
+  d.SetGauge("peak", 5);
+  d.SetGauge("only_a_gauge", 1);
+  d.DefineHistogram("round_sec", {1, 10});
+  d.Observe("round_sec", 0.5);
+  d.Observe("round_sec", 7);
+  c.Merge(d);
+  EXPECT_EQ(c.ToJson(), a.ToJson());
+}
+
+TEST_F(TelemetryTest, MergeWithMismatchedBoundsCountsConflicts) {
+  MetricsRegistry a;
+  a.DefineHistogram("h", {1, 2});
+  a.Observe("h", 1);
+  MetricsRegistry b;
+  b.DefineHistogram("h", {5, 50});
+  b.Observe("h", 10);
+  b.Observe("h", 20);
+  a.Merge(b);
+  // The first definition wins; the incompatible observations are surfaced
+  // instead of silently misbinned.
+  EXPECT_EQ(a.HistogramCount("h"), 1u);
+  EXPECT_DOUBLE_EQ(a.CounterValue("h#merge_conflicts"), 2.0);
+}
+
+TEST_F(TelemetryTest, ScopedSinksRouteThisThreadAndRestoreOnExit) {
+  Telemetry::Disable();  // Even disabled, a scope forces capture...
+  TraceRecorder private_trace;
+  MetricsRegistry private_metrics;
+  {
+    Telemetry::ScopedSinks sinks(&private_trace, &private_metrics);
+    EXPECT_TRUE(Telemetry::Enabled());
+    Span(0, 1, "net", "flow");
+    Count("c", 2);
+
+    // ...and scopes nest LIFO.
+    TraceRecorder inner_trace;
+    MetricsRegistry inner_metrics;
+    {
+      Telemetry::ScopedSinks inner(&inner_trace, &inner_metrics);
+      Count("c", 40);
+    }
+    EXPECT_EQ(inner_trace.size(), 0u);
+    EXPECT_DOUBLE_EQ(inner_metrics.CounterValue("c"), 40.0);
+    Count("c", 1);
+  }
+  EXPECT_EQ(private_trace.size(), 1u);
+  EXPECT_DOUBLE_EQ(private_metrics.CounterValue("c"), 3.0);
+  // After the scope the thread is back on the (disabled) globals.
+  EXPECT_FALSE(Telemetry::Enabled());
+  Count("c", 100);
+  EXPECT_DOUBLE_EQ(Telemetry::metrics().CounterValue("c"), 0.0);
+  EXPECT_EQ(Telemetry::trace().size(), 0u);
+  Telemetry::Enable();  // Restore the fixture's expected state.
+}
+
 TEST_F(TelemetryTest, IdenticallySeededChaosRunsRenderByteIdentically) {
   const RenderedRun first = ChaosRun(11);
   const RenderedRun second = ChaosRun(11);

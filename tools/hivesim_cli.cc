@@ -20,16 +20,37 @@
 //     --model M --min-sps S --sizes "2,4,8"
 //   profile                    iperf/ping between two sites.
 //     --from gc-us --to gc-eu --streams N
+//   sweep                      Run a whole figure grid concurrently.
+//     --series A,B             Cluster axis from named series, and/or
+//     --fleets "lambda:2;gc-us:4"   custom fleets (';'-separated specs).
+//     --models CONV,RXLM       Model axis ("suitability" = Fig. 3/4 set).
+//     --tbs 8192,16384,32768   Target-batch-size axis.
+//     --seeds 1,2              Seed axis.
+//     --chaos none,partition   Chaos axis (none, wan-degrade, partition,
+//                              churn); see docs/SWEEPS.md.
+//     --hours H --title T      Shared run length / report title.
+//     --threads N              Worker threads (results are byte-identical
+//                              for any N; see tests/sweep_test.cc).
+//     --out DIR                Write report.json/report.csv/manifest.json/
+//                              metrics_merged.json (+ per-run telemetry
+//                              under DIR/runs with --telemetry).
+//     --telemetry              Per-cell trace + metrics capture.
+//
+// Unknown or repeated flags are hard errors on every subcommand — a
+// typo'd sweep axis would otherwise silently run the wrong grid.
 //
 // Examples:
 //   hivesim run --series C --model RXLM
 //   hivesim fleet --spec "gc-us:2,aws:2" --model CONV --json /tmp/d2.json
 //   hivesim advise --model CONV --min-sps 250
 //   hivesim profile --from onprem --to gc-us --streams 80
+//   hivesim sweep --fleets "lambda:2" --models suitability
+//     --tbs 8192,16384,32768 --hours 1 --threads 8 --out /tmp/fig3
 
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/strings.h"
@@ -40,6 +61,8 @@
 #include "core/experiment.h"
 #include "core/granularity.h"
 #include "core/report.h"
+#include "core/sweep.h"
+#include "core/sweep_runner.h"
 #include "net/profiler.h"
 #include "net/profiles.h"
 #include "sim/simulator.h"
@@ -118,7 +141,8 @@ Result<std::vector<core::NamedExperiment>> SeriesFor(
       StrCat("unknown series '", name, "' (A, B, C, D, lambda)"));
 }
 
-int CmdList() {
+int CmdList(const FlagSet& flags) {
+  if (Status s = flags.CheckKnown({}); !s.ok()) return Fail(s);
   std::cout << "Models:\n";
   TableWriter models_table({"Name", "Full name", "Domain", "Params"});
   for (int m = 0; m < models::kNumModels; ++m) {
@@ -159,6 +183,11 @@ int WriteTelemetryOutputs(const FlagSet& flags) {
 }
 
 int CmdRun(const FlagSet& flags) {
+  if (Status s = flags.CheckKnown({"series", "model", "tbs", "hours", "csv",
+                                   "json", "trace-out", "metrics-out"});
+      !s.ok()) {
+    return Fail(s);
+  }
   EnableTelemetryIfRequested(flags);
   auto series = SeriesFor(flags.GetString("series", "A"));
   if (!series.ok()) return Fail(series.status());
@@ -201,6 +230,11 @@ int CmdRun(const FlagSet& flags) {
 }
 
 int CmdFleet(const FlagSet& flags) {
+  if (Status s = flags.CheckKnown({"spec", "model", "tbs", "hours", "json",
+                                   "trace-out", "metrics-out"});
+      !s.ok()) {
+    return Fail(s);
+  }
   EnableTelemetryIfRequested(flags);
   auto cluster = ParseFleetSpec(flags.GetString("spec", "gc-us:8"));
   if (!cluster.ok()) return Fail(cluster.status());
@@ -237,6 +271,9 @@ int CmdFleet(const FlagSet& flags) {
 }
 
 int CmdAdvise(const FlagSet& flags) {
+  if (Status s = flags.CheckKnown({"model", "min-sps", "sizes"}); !s.ok()) {
+    return Fail(s);
+  }
   core::AdvisorRequest request;
   auto model = models::ParseModelId(flags.GetString("model", "CONV"));
   if (!model.ok()) return Fail(model.status());
@@ -266,6 +303,9 @@ int CmdAdvise(const FlagSet& flags) {
 }
 
 int CmdProfile(const FlagSet& flags) {
+  if (Status s = flags.CheckKnown({"from", "to", "streams"}); !s.ok()) {
+    return Fail(s);
+  }
   const auto& aliases = SiteAliases();
   auto from = aliases.find(flags.GetString("from", "gc-us"));
   auto to = aliases.find(flags.GetString("to", "gc-eu"));
@@ -295,8 +335,128 @@ int CmdProfile(const FlagSet& flags) {
   return 0;
 }
 
+/// Splits a comma list and parses each field as a non-negative integer.
+Result<std::vector<int64_t>> ParseIntList(const std::string& text,
+                                          const char* what) {
+  std::vector<int64_t> values;
+  for (const std::string& field : StrSplit(text, ',')) {
+    char* end = nullptr;
+    const long long v = std::strtoll(field.c_str(), &end, 10);
+    if (end == field.c_str() || *end != '\0' || v < 0) {
+      return Status::InvalidArgument(
+          StrCat("bad ", what, " '", field, "' (want a non-negative int)"));
+    }
+    values.push_back(v);
+  }
+  return values;
+}
+
+int CmdSweep(const FlagSet& flags) {
+  if (Status s = flags.CheckKnown({"series", "fleets", "models", "tbs",
+                                   "seeds", "chaos", "hours", "title",
+                                   "threads", "out", "telemetry"});
+      !s.ok()) {
+    return Fail(s);
+  }
+
+  core::SweepSpec spec;
+  spec.title = flags.GetString("title", "sweep");
+
+  // Cluster axis: named series and/or custom fleet specs.
+  const std::string series_list = flags.GetString("series", "");
+  if (!series_list.empty()) {
+    for (const std::string& name : StrSplit(series_list, ',')) {
+      auto series = SeriesFor(name);
+      if (!series.ok()) return Fail(series.status());
+      spec.clusters.insert(spec.clusters.end(), series->begin(),
+                           series->end());
+    }
+  }
+  const std::string fleets = flags.GetString("fleets", "");
+  if (!fleets.empty()) {
+    for (const std::string& fleet_spec : StrSplit(fleets, ';')) {
+      auto cluster = ParseFleetSpec(fleet_spec);
+      if (!cluster.ok()) return Fail(cluster.status());
+      spec.clusters.push_back(core::NamedExperiment{fleet_spec, *cluster});
+    }
+  }
+  if (spec.clusters.empty()) {
+    return Fail(Status::InvalidArgument(
+        "sweep needs a cluster axis: --series and/or --fleets"));
+  }
+
+  const std::string model_list = flags.GetString("models", "CONV");
+  spec.models.clear();
+  if (model_list == "suitability") {
+    spec.models = models::SuitabilityStudyModels();
+  } else {
+    for (const std::string& name : StrSplit(model_list, ',')) {
+      auto model = models::ParseModelId(name);
+      if (!model.ok()) return Fail(model.status());
+      spec.models.push_back(*model);
+    }
+  }
+
+  auto tbs_list = ParseIntList(flags.GetString("tbs", "32768"), "--tbs");
+  if (!tbs_list.ok()) return Fail(tbs_list.status());
+  spec.target_batch_sizes.assign(tbs_list->begin(), tbs_list->end());
+
+  auto seed_list = ParseIntList(flags.GetString("seeds", "1"), "--seeds");
+  if (!seed_list.ok()) return Fail(seed_list.status());
+  spec.seeds.assign(seed_list->begin(), seed_list->end());
+
+  spec.chaos.clear();
+  for (const std::string& name :
+       StrSplit(flags.GetString("chaos", "none"), ',')) {
+    auto preset = core::ParseChaosPreset(name);
+    if (!preset.ok()) return Fail(preset.status());
+    spec.chaos.push_back(*preset);
+  }
+
+  auto hours = flags.GetDouble("hours", 2.0);
+  if (!hours.ok()) return Fail(hours.status());
+  spec.duration_sec = *hours * kHour;
+
+  core::SweepOptions options;
+  auto threads = flags.GetInt("threads", 1);
+  if (!threads.ok()) return Fail(threads.status());
+  options.threads = *threads;
+  options.out_dir = flags.GetString("out", "");
+  options.per_run_telemetry = flags.GetBool("telemetry", false);
+
+  auto summary = core::RunSweep(spec, options);
+  if (!summary.ok()) return Fail(summary.status());
+
+  core::ReportBuilder report(spec.title);
+  for (size_t i = 0; i < summary->cells.size(); ++i) {
+    if (summary->outcomes[i].ok) {
+      report.Add(summary->cells[i].name, summary->outcomes[i].result);
+    }
+  }
+  report.PrintTable(std::cout);
+  for (size_t i = 0; i < summary->cells.size(); ++i) {
+    if (!summary->outcomes[i].ok) {
+      std::cerr << summary->cells[i].name << ": "
+                << summary->outcomes[i].error << "\n";
+    }
+  }
+  std::cout << StrFormat(
+      "%zu cells, %d failed, %.2fs wall on %d thread%s\n",
+      summary->cells.size(), summary->failures, summary->wall_sec,
+      options.threads < 1 ? 1 : options.threads,
+      options.threads == 1 ? "" : "s");
+  if (!options.out_dir.empty()) {
+    std::cout << "wrote " << options.out_dir
+              << "/{report.json,report.csv,manifest.json,"
+                 "metrics_merged.json}"
+              << (options.per_run_telemetry ? " + runs/*" : "") << "\n";
+  }
+  return summary->failures == 0 ? 0 : 1;
+}
+
 int Usage() {
-  std::cout << "usage: hivesim <list|run|fleet|advise|profile> [--flags]\n"
+  std::cout << "usage: hivesim <list|run|fleet|advise|profile|sweep> "
+               "[--flags]\n"
                "See the header of tools/hivesim_cli.cc for details.\n";
   return 2;
 }
@@ -308,10 +468,11 @@ int main(int argc, char** argv) {
   if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
   if (flags.positional().empty()) return Usage();
   const std::string& command = flags.positional().front();
-  if (command == "list") return CmdList();
+  if (command == "list") return CmdList(flags);
   if (command == "run") return CmdRun(flags);
   if (command == "fleet") return CmdFleet(flags);
   if (command == "advise") return CmdAdvise(flags);
   if (command == "profile") return CmdProfile(flags);
+  if (command == "sweep") return CmdSweep(flags);
   return Usage();
 }
