@@ -6,7 +6,12 @@
 #      surface — sweep_test (thread pool, parallel cells, aggregator) and
 #      telemetry_test (thread-local sink routing),
 #   4. a smoke run of the telemetry pipeline (trace_tour -> trace JSON ->
-#      scripts/trace_summary.py) so the observability path stays healthy.
+#      scripts/trace_summary.py) so the observability path stays healthy,
+#   5. a perf smoke: the two simulation-kernel microbenchmarks run
+#      briefly from the optimized build. Each binary self-checks
+#      determinism first (two identically seeded churn runs must match
+#      exactly) and exits non-zero on divergence or crash, so solver and
+#      event-pool regressions fail CI here.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,5 +37,11 @@ trap 'rm -rf "$tmpdir"' EXIT
   --trace-out="$tmpdir/tour.trace.json" \
   --metrics-out="$tmpdir/tour.metrics.json" > /dev/null
 python3 scripts/trace_summary.py "$tmpdir/tour.trace.json" --top 5
+
+echo "=== perf smoke: kernel benches (determinism + crash check) ==="
+cmake --build --preset default -j "$(nproc)" \
+  --target bench_kernel_net bench_kernel_sim
+./build/bench/bench_kernel_net --benchmark_min_time=0.1s > /dev/null
+./build/bench/bench_kernel_sim --benchmark_min_time=0.1s > /dev/null
 
 echo "=== ci.sh: all green ==="

@@ -2,6 +2,7 @@
 #define HIVESIM_CLOUD_PROVISIONER_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "cloud/spot_market.h"

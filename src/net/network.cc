@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "common/strings.h"
-#include "telemetry/telemetry.h"
 
 namespace hivesim::net {
 
@@ -14,6 +13,10 @@ constexpr double kEpsilonBytes = 1.0;
 constexpr double kEpsilonRate = 1e-9;
 
 uint64_t NodePairKey(NodeId src, NodeId dst) {
+  return (static_cast<uint64_t>(src) << 32) | dst;
+}
+
+uint64_t SitePairKey(SiteId src, SiteId dst) {
   return (static_cast<uint64_t>(src) << 32) | dst;
 }
 }  // namespace
@@ -58,7 +61,7 @@ Result<FlowId> Network::StartFlow(NodeId src, NodeId dst, double bytes,
     lf.completion_event = sim_->Schedule(
         path.rtt_sec / 2.0, [this, id] { FinishLatencyFlow(id); });
     latency_flows_.emplace(id, std::move(lf));
-    telemetry::Count("net.flows_started");
+    flows_started_counter_.Add();
     return id;
   }
 
@@ -68,11 +71,13 @@ Result<FlowId> Network::StartFlow(NodeId src, NodeId dst, double bytes,
   flow.id = id;
   flow.src = src;
   flow.dst = dst;
+  flow.src_site = topology_->SiteOf(src);
+  flow.dst_site = topology_->SiteOf(dst);
   flow.started_sec = sim_->Now();
   flow.total_bytes = bytes;
   flow.remaining_bytes = bytes;
   flow.on_complete = std::move(on_complete);
-  telemetry::Count("net.flows_started");
+  flows_started_counter_.Add();
 
   // Per-flow ceiling: `streams` TCP streams, each limited by the smaller
   // of the two endpoints' windows over the path RTT (the send window and
@@ -95,8 +100,28 @@ Result<FlowId> Network::StartFlow(NodeId src, NodeId dst, double bytes,
   cap = std::min(cap, options.app_rate_cap_bps);
   flow.stream_cap_bps = cap;
 
-  flows_.emplace(id, std::move(flow));
-  Recompute();
+  // The flow's shared resources, fixed for its lifetime: the endpoint
+  // NICs and, cross-site, the directed inter-site path. Capacities are
+  // snapshotted when a resource first appears (Refresh re-reads them).
+  double caps[3];
+  int n = 0;
+  flow.keys[n] = {ResourceKind::kEgress, flow.src, 0};
+  caps[n++] = topology_->EgressCap(flow.src);
+  flow.keys[n] = {ResourceKind::kIngress, flow.dst, 0};
+  caps[n++] = topology_->IngressCap(flow.dst);
+  if (flow.src_site != flow.dst_site) {
+    // Cross-site flows contend on the directed inter-site path. Intra-
+    // site traffic rides a non-blocking fabric: the per-VM-pair rate is
+    // already folded into the flow's stream cap, and only the NICs are
+    // shared resources.
+    flow.keys[n] = {ResourceKind::kPath, flow.src_site, flow.dst_site};
+    caps[n++] = path.bandwidth_bps;
+  }
+  flow.num_keys = n;
+
+  auto [it, inserted] = flows_.emplace(id, std::move(flow));
+  AddFlowToResources(it->second, caps);
+  SolveComponent(it->second.keys, it->second.num_keys);
   return id;
 }
 
@@ -105,7 +130,7 @@ bool Network::CancelFlow(FlowId id) {
   if (lit != latency_flows_.end()) {
     sim_->Cancel(lit->second.completion_event);
     if (telemetry::Enabled()) {
-      telemetry::Count("net.flows_cancelled");
+      flows_cancelled_counter_.Add();
       telemetry::Instant(
           sim_->Now(), "net",
           StrFormat("flow-cancel %u->%u", lit->second.src, lit->second.dst));
@@ -121,15 +146,19 @@ bool Network::CancelFlow(FlowId id) {
   }
   if (telemetry::Enabled()) {
     const Flow& flow = it->second;
-    telemetry::Count("net.flows_cancelled");
+    flows_cancelled_counter_.Add();
     telemetry::Instant(
         sim_->Now(), "net",
         StrFormat("flow-cancel %u->%u", flow.src, flow.dst),
         StrFormat("{\"delivered_bytes\":%.0f}",
                   flow.total_bytes - flow.remaining_bytes));
   }
+  RemoveFlowFromResources(it->second);
+  ResourceKey seed[3];
+  std::copy(it->second.keys, it->second.keys + it->second.num_keys, seed);
+  const int num_seed = it->second.num_keys;
   flows_.erase(it);
-  Recompute();
+  SolveComponent(seed, num_seed);
   return true;
 }
 
@@ -147,7 +176,7 @@ Status Network::SendMessage(NodeId src, NodeId dst, double bytes,
                             FlowCallback on_delivered) {
   double delay = 0;
   HIVESIM_ASSIGN_OR_RETURN(delay, MessageDelay(src, dst, bytes));
-  telemetry::Count("net.messages");
+  messages_counter_.Add();
   // Metered on delivery, consistent with flow metering: a run stopped
   // mid-flight must not book undelivered control-plane bytes as egress.
   sim_->Schedule(delay,
@@ -160,7 +189,30 @@ Status Network::SendMessage(NodeId src, NodeId dst, double bytes,
 
 void Network::Refresh() {
   Progress();
-  Recompute();
+  // Topology paths may have changed (WAN degradation/recovery): re-read
+  // every resource's capacity, then re-solve all components. Flows keep
+  // their per-flow stream caps by contract.
+  for (auto& [key, res] : resources_) {
+    switch (key.kind) {
+      case ResourceKind::kEgress:
+        res.capacity_bps = topology_->EgressCap(static_cast<NodeId>(key.a));
+        break;
+      case ResourceKind::kIngress:
+        res.capacity_bps = topology_->IngressCap(static_cast<NodeId>(key.a));
+        break;
+      case ResourceKind::kPath: {
+        auto path = topology_->PathBetween(static_cast<SiteId>(key.a),
+                                           static_cast<SiteId>(key.b));
+        res.capacity_bps = path.ok() ? path->bandwidth_bps : 0.0;
+        break;
+      }
+    }
+  }
+  const uint64_t already_solved = solve_epoch_;
+  for (auto& [id, flow] : flows_) {
+    if (flow.mark > already_solved) continue;  // Covered by a prior component.
+    SolveComponent(flow.keys, flow.num_keys);
+  }
 }
 
 double Network::FlowRate(FlowId id) const {
@@ -177,136 +229,215 @@ void Network::Progress() {
     const double moved = std::min(flow.remaining_bytes, flow.rate_bps * dt);
     if (moved > 0) {
       flow.remaining_bytes -= moved;
-      MeterBytes(flow.src, flow.dst, moved);
+      MeterBytesSited(flow.src, flow.dst, flow.src_site, flow.dst_site,
+                      moved);
     }
   }
 }
 
-void Network::Recompute() {
-  // Build the resource table: capacity and the set of unfrozen flows using
-  // each resource.
-  struct ResourceState {
-    double remaining = 0;
-    int unfrozen = 0;
-  };
-  std::unordered_map<ResourceKey, ResourceState, ResourceKeyHash> resources;
-  struct FlowWork {
-    Flow* flow;
-    ResourceKey keys[3];
-    int num_keys = 0;
-    double alloc = 0;
-    bool frozen = false;
-  };
-  std::vector<FlowWork> work;
-  work.reserve(flows_.size());
-
-  for (auto& [id, flow] : flows_) {
-    FlowWork w;
-    w.flow = &flow;
-    const SiteId ssite = topology_->SiteOf(flow.src);
-    const SiteId dsite = topology_->SiteOf(flow.dst);
-    ResourceKey keys[3];
-    double caps[3];
-    int n = 0;
-    keys[n] = {ResourceKind::kEgress, flow.src, 0};
-    caps[n++] = topology_->EgressCap(flow.src);
-    keys[n] = {ResourceKind::kIngress, flow.dst, 0};
-    caps[n++] = topology_->IngressCap(flow.dst);
-    if (ssite != dsite) {
-      // Cross-site flows contend on the directed inter-site path. Intra-
-      // site traffic rides a non-blocking fabric: the per-VM-pair rate is
-      // already folded into the flow's stream cap, and only the NICs are
-      // shared resources.
-      keys[n] = {ResourceKind::kPath, ssite, dsite};
-      auto path = topology_->PathBetween(ssite, dsite);
-      caps[n++] = path.ok() ? path->bandwidth_bps : 0.0;
+void Network::AddFlowToResources(const Flow& flow, const double* caps) {
+  for (int i = 0; i < flow.num_keys; ++i) {
+    auto [it, inserted] = resources_.try_emplace(flow.keys[i]);
+    if (inserted) {
+      it->second.key = flow.keys[i];
+      it->second.capacity_bps = caps[i];
     }
-    for (int i = 0; i < n; ++i) {
-      w.keys[i] = keys[i];
-      auto [it, inserted] = resources.try_emplace(keys[i]);
-      if (inserted) it->second.remaining = caps[i];
-      ++it->second.unfrozen;
-    }
-    w.num_keys = n;
-    work.push_back(w);
+    it->second.flows.push_back(flow.id);
   }
+}
 
-  // Progressive filling: raise all unfrozen flows' allocations uniformly
-  // until a flow hits its per-flow cap or a resource saturates; freeze and
-  // repeat. This yields the max-min fair allocation with per-flow caps.
-  size_t frozen_count = 0;
-  while (frozen_count < work.size()) {
-    double delta = std::numeric_limits<double>::infinity();
-    for (const auto& [key, res] : resources) {
-      if (res.unfrozen > 0) {
-        delta = std::min(delta, res.remaining / res.unfrozen);
+void Network::RemoveFlowFromResources(const Flow& flow) {
+  for (int i = 0; i < flow.num_keys; ++i) {
+    auto it = resources_.find(flow.keys[i]);
+    if (it == resources_.end()) continue;
+    std::vector<FlowId>& users = it->second.flows;
+    for (size_t j = 0; j < users.size(); ++j) {
+      if (users[j] == flow.id) {
+        users[j] = users.back();
+        users.pop_back();
+        break;
       }
     }
-    for (const auto& w : work) {
-      if (!w.frozen) {
-        delta = std::min(delta, w.flow->stream_cap_bps - w.alloc);
+    if (users.empty()) resources_.erase(it);
+  }
+}
+
+void Network::SolveComponent(const ResourceKey* seed_keys,
+                             int num_seed_keys) {
+  // --- Gather the dirty component: BFS over the bipartite flow/resource
+  // sharing graph starting from the seed resources. Every flow of every
+  // visited resource joins, so by closure a resource's unfrozen count is
+  // simply its user count.
+  const uint64_t epoch = ++solve_epoch_;
+  comp_flows_.clear();
+  comp_resources_.clear();
+  size_t scan = 0;
+  for (int i = 0; i < num_seed_keys; ++i) {
+    auto it = resources_.find(seed_keys[i]);
+    if (it == resources_.end() || it->second.mark == epoch) continue;
+    it->second.mark = epoch;
+    comp_resources_.push_back(&it->second);
+  }
+  while (scan < comp_resources_.size()) {
+    Resource* res = comp_resources_[scan++];
+    for (const FlowId fid : res->flows) {
+      Flow& flow = flows_.at(fid);
+      if (flow.mark == epoch) continue;
+      flow.mark = epoch;
+      comp_flows_.push_back(&flow);
+      for (int i = 0; i < flow.num_keys; ++i) {
+        Resource& other = resources_.at(flow.keys[i]);
+        if (other.mark == epoch) continue;
+        other.mark = epoch;
+        comp_resources_.push_back(&other);
       }
+    }
+  }
+  if (comp_flows_.empty()) return;
+
+  // --- Water-filling. All unfrozen flows always hold the same allocation
+  // (the water level L), so the progressive-filling round structure
+  // collapses: the binding per-flow cap each round is the smallest cap
+  // among unfrozen flows — a sorted-by-cap cursor instead of an O(F)
+  // scan — and cap-freezes are a prefix pop. Rounds still freeze at
+  // least one flow each, and resources are only touched while they have
+  // unfrozen users, so a solve is O(F log F + sum of active resource
+  // lists) instead of the old O(F^2) full-fleet iteration.
+  for (Resource* res : comp_resources_) {
+    res->remaining = res->capacity_bps;
+    res->unfrozen = static_cast<int>(res->flows.size());
+  }
+  for (Flow* flow : comp_flows_) {
+    flow->frozen = false;
+    flow->solved_rate = 0;
+  }
+  std::sort(comp_flows_.begin(), comp_flows_.end(),
+            [](const Flow* a, const Flow* b) {
+              if (a->stream_cap_bps != b->stream_cap_bps) {
+                return a->stream_cap_bps < b->stream_cap_bps;
+              }
+              return a->id < b->id;  // Deterministic tie-break.
+            });
+
+  const size_t num_flows = comp_flows_.size();
+  size_t frozen_count = 0;
+  size_t cap_cursor = 0;  // First unfrozen flow in cap order.
+  double level = 0.0;
+  std::vector<Resource*>& active = comp_resources_;  // Compacted in place.
+
+  const auto freeze_flow = [&](Flow* flow) {
+    flow->frozen = true;
+    flow->solved_rate = level;
+    ++frozen_count;
+    for (int i = 0; i < flow->num_keys; ++i) {
+      --resources_.at(flow->keys[i]).unfrozen;
+    }
+  };
+
+  while (frozen_count < num_flows) {
+    // The next freeze level: the tightest resource fair share or the
+    // smallest unfrozen per-flow cap, whichever binds first.
+    double delta = std::numeric_limits<double>::infinity();
+    for (Resource* res : active) {
+      if (res->unfrozen > 0) {
+        delta = std::min(delta, res->remaining / res->unfrozen);
+      }
+    }
+    while (cap_cursor < num_flows && comp_flows_[cap_cursor]->frozen) {
+      ++cap_cursor;
+    }
+    if (cap_cursor < num_flows) {
+      delta = std::min(delta,
+                       comp_flows_[cap_cursor]->stream_cap_bps - level);
     }
     if (!std::isfinite(delta) || delta < 0) delta = 0;
 
-    for (auto& w : work) {
-      if (!w.frozen) w.alloc += delta;
-    }
-    for (auto& [key, res] : resources) {
-      res.remaining -= delta * res.unfrozen;
+    level += delta;
+    for (Resource* res : active) {
+      res->remaining -= delta * res->unfrozen;
     }
 
-    // Freeze flows that reached their cap or sit on a drained resource.
+    // Freeze flows that reached their cap (a prefix in cap order) or sit
+    // on a drained resource.
     bool froze_any = false;
-    for (auto& w : work) {
-      if (w.frozen) continue;
-      bool freeze = w.alloc >= w.flow->stream_cap_bps - kEpsilonRate;
-      if (!freeze) {
-        for (int i = 0; i < w.num_keys; ++i) {
-          if (resources.at(w.keys[i]).remaining <= kEpsilonRate) {
-            freeze = true;
-            break;
-          }
-        }
-      }
-      if (freeze) {
-        w.frozen = true;
+    for (size_t i = cap_cursor; i < num_flows; ++i) {
+      Flow* flow = comp_flows_[i];
+      if (flow->frozen) continue;
+      if (level < flow->stream_cap_bps - kEpsilonRate) break;
+      freeze_flow(flow);
+      froze_any = true;
+    }
+    for (Resource* res : active) {
+      if (res->remaining > kEpsilonRate) continue;
+      for (const FlowId fid : res->flows) {
+        Flow& flow = flows_.at(fid);
+        if (flow.frozen) continue;
+        freeze_flow(&flow);
         froze_any = true;
-        ++frozen_count;
-        for (int i = 0; i < w.num_keys; ++i) {
-          --resources.at(w.keys[i]).unfrozen;
-        }
       }
     }
+
     if (!froze_any) {
-      // Numerical safety valve: freeze everything at current allocation.
-      for (auto& w : work) {
-        if (!w.frozen) {
-          w.frozen = true;
+      // Numerical safety valve: freeze everything at the current level.
+      for (size_t i = 0; i < num_flows; ++i) {
+        Flow* flow = comp_flows_[i];
+        if (!flow->frozen) {
+          flow->frozen = true;
+          flow->solved_rate = level;
           ++frozen_count;
         }
       }
+      break;
+    }
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [](const Resource* res) {
+                                  return res->unfrozen <= 0;
+                                }),
+                 active.end());
+  }
+
+  // --- Apply rates. A completion event is only touched when the flow's
+  // rate actually moved (epsilon-compared): unchanged flows progress
+  // linearly, so their already-scheduled deadline stays exact and the
+  // kernel sees no cancel/reschedule churn for them.
+  for (Flow* flow : comp_flows_) {
+    const double new_rate = flow->solved_rate;
+    const bool rate_changed =
+        std::fabs(new_rate - flow->rate_bps) > kEpsilonRate;
+    flow->rate_bps = new_rate;
+    if (flow->has_completion_event) {
+      if (!rate_changed) continue;
+      sim_->Cancel(flow->completion_event);
+      flow->has_completion_event = false;
+    }
+    if (new_rate > kEpsilonRate) {
+      const double eta = flow->remaining_bytes / new_rate;
+      const FlowId fid = flow->id;
+      flow->completion_event =
+          sim_->Schedule(eta, [this, fid] { OnFlowDeadline(fid); });
+      flow->has_completion_event = true;
     }
   }
 
-  // Apply rates and (re)schedule completions.
-  for (auto& w : work) {
-    Flow& flow = *w.flow;
-    flow.rate_bps = w.alloc;
-    if (flow.has_completion_event) {
-      sim_->Cancel(flow.completion_event);
-      flow.has_completion_event = false;
+  // --- Peak egress tracking, fresh sums per sender in the component
+  // (senders outside it kept their rates, so their sums are unchanged).
+  // Each sender's egress resource is summed once: the first flow to reach
+  // it un-marks it for the rest of this pass.
+  for (Flow* flow : comp_flows_) {
+    auto it = resources_.find(
+        ResourceKey{ResourceKind::kEgress, flow->src, 0});
+    if (it == resources_.end() || it->second.mark != epoch) continue;
+    it->second.mark = epoch - 1;  // Sum each sender once.
+    double rate = 0;
+    for (const FlowId fid : it->second.flows) {
+      rate += flows_.at(fid).rate_bps;
     }
-    if (flow.rate_bps > kEpsilonRate) {
-      const double eta = flow.remaining_bytes / flow.rate_bps;
-      const FlowId id = flow.id;
-      flow.completion_event =
-          sim_->Schedule(eta, [this, id] { OnFlowDeadline(id); });
-      flow.has_completion_event = true;
+    if (node_peak_egress_.size() <= flow->src) {
+      node_peak_egress_.resize(flow->src + 1, 0.0);
     }
+    node_peak_egress_[flow->src] =
+        std::max(node_peak_egress_[flow->src], rate);
   }
-
-  UpdatePeaks();
 }
 
 void Network::OnFlowDeadline(FlowId id) {
@@ -327,8 +458,9 @@ void Network::OnFlowDeadline(FlowId id) {
   if (flow.remaining_bytes <= kEpsilonBytes || clock_would_stall) {
     FinishFlow(id);
   } else {
-    // Rate changed since scheduling; Recompute will set a fresh deadline.
-    Recompute();
+    // Sub-epsilon rate drift left residue; re-solving the component
+    // schedules this flow a fresh deadline (its event already fired).
+    SolveComponent(flow.keys, flow.num_keys);
   }
 }
 
@@ -337,14 +469,18 @@ void Network::FinishFlow(FlowId id) {
   if (it == flows_.end()) return;
   if (telemetry::Enabled()) {
     const Flow& flow = it->second;
-    telemetry::Count("net.flows_completed");
+    flows_completed_counter_.Add();
     telemetry::Span(flow.started_sec, sim_->Now(), "net",
                     StrFormat("flow %u->%u", flow.src, flow.dst),
                     StrFormat("{\"bytes\":%.0f}", flow.total_bytes));
   }
   FlowCallback cb = std::move(it->second.on_complete);
+  RemoveFlowFromResources(it->second);
+  ResourceKey seed[3];
+  std::copy(it->second.keys, it->second.keys + it->second.num_keys, seed);
+  const int num_seed = it->second.num_keys;
   flows_.erase(it);
-  Recompute();
+  SolveComponent(seed, num_seed);
   if (cb) cb();
 }
 
@@ -354,7 +490,7 @@ void Network::FinishLatencyFlow(FlowId id) {
   LatencyFlow lf = std::move(it->second);
   latency_flows_.erase(it);
   if (telemetry::Enabled()) {
-    telemetry::Count("net.flows_completed");
+    flows_completed_counter_.Add();
     telemetry::Span(lf.started_sec, sim_->Now(), "net",
                     StrFormat("flow %u->%u", lf.src, lf.dst),
                     StrFormat("{\"bytes\":%.0f}", lf.bytes));
@@ -363,7 +499,29 @@ void Network::FinishLatencyFlow(FlowId id) {
   if (lf.on_complete) lf.on_complete();
 }
 
+telemetry::CounterHandle& Network::ZoneBytesCounter(SiteId src_site,
+                                                    SiteId dst_site) {
+  const uint64_t key = SitePairKey(src_site, dst_site);
+  auto it = zone_counters_.find(key);
+  if (it == zone_counters_.end()) {
+    it = zone_counters_
+             .try_emplace(key,
+                          telemetry::LabeledName(
+                              "net.bytes_delivered",
+                              {{"src_zone", topology_->site(src_site).name},
+                               {"dst_zone", topology_->site(dst_site).name}}))
+             .first;
+  }
+  return it->second;
+}
+
 void Network::MeterBytes(NodeId src, NodeId dst, double bytes) {
+  MeterBytesSited(src, dst, topology_->SiteOf(src), topology_->SiteOf(dst),
+                  bytes);
+}
+
+void Network::MeterBytesSited(NodeId src, NodeId dst, SiteId src_site,
+                              SiteId dst_site, double bytes) {
   // Nodes may be added to the topology after construction.
   const size_t needed = static_cast<size_t>(std::max(src, dst)) + 1;
   if (node_egress_bytes_.size() < needed) {
@@ -372,29 +530,12 @@ void Network::MeterBytes(NodeId src, NodeId dst, double bytes) {
     node_peak_egress_.resize(needed, 0.0);
   }
   bytes_by_node_pair_[NodePairKey(src, dst)] += bytes;
+  bytes_by_site_pair_[SitePairKey(src_site, dst_site)] += bytes;
   node_egress_bytes_[src] += bytes;
   node_ingress_bytes_[dst] += bytes;
   if (telemetry::Enabled()) {
-    telemetry::Count("net.bytes_delivered", bytes);
-    telemetry::Count(
-        telemetry::LabeledName(
-            "net.bytes_delivered",
-            {{"src_zone", topology_->site(topology_->SiteOf(src)).name},
-             {"dst_zone", topology_->site(topology_->SiteOf(dst)).name}}),
-        bytes);
-  }
-}
-
-void Network::UpdatePeaks() {
-  std::vector<double> rates(topology_->num_nodes(), 0.0);
-  for (const auto& [id, flow] : flows_) {
-    rates[flow.src] += flow.rate_bps;
-  }
-  if (node_peak_egress_.size() < rates.size()) {
-    node_peak_egress_.resize(rates.size(), 0.0);
-  }
-  for (size_t i = 0; i < rates.size(); ++i) {
-    node_peak_egress_[i] = std::max(node_peak_egress_[i], rates[i]);
+    bytes_delivered_counter_.Add(bytes);
+    ZoneBytesCounter(src_site, dst_site).Add(bytes);
   }
 }
 
@@ -404,15 +545,8 @@ double Network::BytesBetweenNodes(NodeId src, NodeId dst) const {
 }
 
 double Network::BytesBetweenSites(SiteId src, SiteId dst) const {
-  double total = 0;
-  for (const auto& [key, bytes] : bytes_by_node_pair_) {
-    const NodeId s = static_cast<NodeId>(key >> 32);
-    const NodeId d = static_cast<NodeId>(key & 0xffffffffu);
-    if (topology_->SiteOf(s) == src && topology_->SiteOf(d) == dst) {
-      total += bytes;
-    }
-  }
-  return total;
+  auto it = bytes_by_site_pair_.find(SitePairKey(src, dst));
+  return it == bytes_by_site_pair_.end() ? 0.0 : it->second;
 }
 
 double Network::NodeEgressBytes(NodeId node) const {
@@ -429,6 +563,7 @@ double Network::NodePeakEgressRate(NodeId node) const {
 
 void Network::ResetMeters() {
   bytes_by_node_pair_.clear();
+  bytes_by_site_pair_.clear();
   std::fill(node_egress_bytes_.begin(), node_egress_bytes_.end(), 0.0);
   std::fill(node_ingress_bytes_.begin(), node_ingress_bytes_.end(), 0.0);
   std::fill(node_peak_egress_.begin(), node_peak_egress_.end(), 0.0);

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "net/topology.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 
 namespace hivesim::net {
 
@@ -38,6 +39,14 @@ struct FlowOptions {
 /// and an optional application cap. Rates are recomputed whenever a flow
 /// starts or ends, and all byte progress is metered per node pair so the
 /// cloud cost engine can price egress exactly.
+///
+/// The solver is incremental: each flow's resource keys are computed once
+/// at `StartFlow` and kept in a persistent resource table, so a flow
+/// arrival/removal only re-solves the *dirty component* — the flows
+/// transitively sharing a resource with the changed flow. Within a
+/// component, rates come from a sort-by-cap water-filling pass, and a
+/// flow's completion event is only rescheduled when its rate actually
+/// changed. See docs/PERFORMANCE.md for the invariants.
 class Network {
  public:
   using FlowCallback = std::function<void()>;
@@ -90,7 +99,9 @@ class Network {
   /// Bytes delivered from node `src` to node `dst`.
   double BytesBetweenNodes(NodeId src, NodeId dst) const;
   /// Bytes delivered from any node in `src` to any node in `dst`
-  /// (directional; includes src == dst for intra-site traffic).
+  /// (directional; includes src == dst for intra-site traffic). O(1):
+  /// served from a site-pair aggregate maintained alongside the node-pair
+  /// meters on every delivery.
   double BytesBetweenSites(SiteId src, SiteId dst) const;
   /// Total bytes sent by a node.
   double NodeEgressBytes(NodeId node) const;
@@ -106,20 +117,6 @@ class Network {
   sim::Simulator& simulator() { return *sim_; }
 
  private:
-  struct Flow {
-    FlowId id = 0;
-    NodeId src = 0;
-    NodeId dst = 0;
-    double started_sec = 0;
-    double total_bytes = 0;
-    double remaining_bytes = 0;
-    double rate_bps = 0;       // Current fair share.
-    double stream_cap_bps = 0; // min(path, streams * window/RTT, app cap).
-    FlowCallback on_complete;
-    sim::EventId completion_event = 0;
-    bool has_completion_event = false;
-  };
-
   // Shared-resource identifiers for the fair-share solver.
   enum class ResourceKind : uint8_t { kEgress, kIngress, kPath };
   struct ResourceKey {
@@ -137,6 +134,43 @@ class Network {
     }
   };
 
+  struct Flow {
+    FlowId id = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    SiteId src_site = 0;
+    SiteId dst_site = 0;
+    double started_sec = 0;
+    double total_bytes = 0;
+    double remaining_bytes = 0;
+    double rate_bps = 0;       // Current fair share.
+    double stream_cap_bps = 0; // min(path, streams * window/RTT, app cap).
+    FlowCallback on_complete;
+    sim::EventId completion_event = 0;
+    bool has_completion_event = false;
+    // Resource keys this flow contends on, fixed at StartFlow (NICs and,
+    // cross-site, the directed inter-site path).
+    ResourceKey keys[3];
+    int num_keys = 0;
+    // Solver scratch: component-visit mark and per-solve freeze state.
+    uint64_t mark = 0;
+    bool frozen = false;
+    double solved_rate = 0;
+  };
+
+  /// Persistent per-resource state: the capacity snapshot and the live
+  /// flows contending on it. Updated on flow add/remove; capacities are
+  /// re-read from the topology by `Refresh`.
+  struct Resource {
+    ResourceKey key{ResourceKind::kEgress, 0, 0};
+    double capacity_bps = 0;
+    std::vector<FlowId> flows;
+    // Solver scratch, valid only within one SolveComponent call.
+    uint64_t mark = 0;
+    double remaining = 0;
+    int unfrozen = 0;
+  };
+
   // A sub-epsilon transfer riding pure latency: no fair-share state, just
   // a cancellable delivery event whose bytes are metered on arrival.
   struct LatencyFlow {
@@ -151,15 +185,28 @@ class Network {
   /// Advances all flows by (now - last_update_) at their current rates and
   /// books the delivered bytes into the meters.
   void Progress();
-  /// Recomputes max-min fair rates and reschedules completion events.
-  void Recompute();
+  /// Registers `flow` in the resource table, creating resources with the
+  /// given capacity snapshots on first use.
+  void AddFlowToResources(const Flow& flow, const double* caps);
+  /// Unregisters `flow`; resources left without users are dropped.
+  void RemoveFlowFromResources(const Flow& flow);
+  /// Re-solves the max-min fair allocation for the connected component of
+  /// flows reachable from `seed_keys` (flows transitively sharing a
+  /// resource). Rates outside the component are untouched, and completion
+  /// events inside it are only rescheduled when the flow's rate moved by
+  /// more than epsilon.
+  void SolveComponent(const ResourceKey* seed_keys, int num_seed_keys);
   /// Fires when `id` is expected to finish.
   void OnFlowDeadline(FlowId id);
   void FinishFlow(FlowId id);
   /// Delivers a latency-only flow: meters its bytes and fires the callback.
   void FinishLatencyFlow(FlowId id);
   void MeterBytes(NodeId src, NodeId dst, double bytes);
-  void UpdatePeaks();
+  void MeterBytesSited(NodeId src, NodeId dst, SiteId src_site,
+                       SiteId dst_site, double bytes);
+  /// Telemetry handle for the per-zone-pair byte counter of a site pair.
+  telemetry::CounterHandle& ZoneBytesCounter(SiteId src_site,
+                                             SiteId dst_site);
 
   sim::Simulator* sim_;
   const Topology* topology_;
@@ -167,11 +214,25 @@ class Network {
   double last_update_ = 0.0;
   std::unordered_map<FlowId, Flow> flows_;
   std::unordered_map<FlowId, LatencyFlow> latency_flows_;
+  std::unordered_map<ResourceKey, Resource, ResourceKeyHash> resources_;
+  uint64_t solve_epoch_ = 0;
+
+  // Reused solver scratch (cleared per solve, capacity retained).
+  std::vector<Flow*> comp_flows_;
+  std::vector<Resource*> comp_resources_;
 
   std::unordered_map<uint64_t, double> bytes_by_node_pair_;
+  std::unordered_map<uint64_t, double> bytes_by_site_pair_;
   std::vector<double> node_egress_bytes_;
   std::vector<double> node_ingress_bytes_;
   std::vector<double> node_peak_egress_;
+
+  telemetry::CounterHandle bytes_delivered_counter_{"net.bytes_delivered"};
+  telemetry::CounterHandle flows_started_counter_{"net.flows_started"};
+  telemetry::CounterHandle flows_cancelled_counter_{"net.flows_cancelled"};
+  telemetry::CounterHandle flows_completed_counter_{"net.flows_completed"};
+  telemetry::CounterHandle messages_counter_{"net.messages"};
+  std::unordered_map<uint64_t, telemetry::CounterHandle> zone_counters_;
 };
 
 }  // namespace hivesim::net

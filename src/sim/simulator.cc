@@ -1,9 +1,9 @@
 #include "sim/simulator.h"
 
 #include <cassert>
+#include <utility>
 
 #include "common/logging.h"
-#include "telemetry/telemetry.h"
 
 namespace hivesim::sim {
 
@@ -15,6 +15,28 @@ Simulator::Simulator() {
 
 Simulator::~Simulator() { PopSimTimeSource(this); }
 
+EventId Simulator::AllocateSlot(Callback cb, uint32_t* slot_out) {
+  uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.cb = std::move(cb);
+  *slot_out = index;
+  return PackId(index, slot.generation);
+}
+
+void Simulator::ReleaseSlot(uint32_t index) {
+  Slot& slot = slots_[index];
+  if (++slot.generation == 0) slot.generation = 1;  // Keep ids nonzero.
+  slot.cb = nullptr;  // Release captured state eagerly.
+  free_slots_.push_back(index);
+}
+
 EventId Simulator::Schedule(double delay, Callback cb) {
   if (delay < 0) delay = 0;
   return ScheduleAt(now_ + delay, std::move(cb));
@@ -22,51 +44,50 @@ EventId Simulator::Schedule(double delay, Callback cb) {
 
 EventId Simulator::ScheduleAt(double when, Callback cb) {
   if (when < now_) when = now_;
-  auto ev = std::make_shared<Event>();
-  ev->when = when;
-  ev->seq = next_seq_++;
-  ev->id = next_id_++;
-  ev->cb = std::move(cb);
-  cancel_index_.emplace(ev->id, ev);
-  queue_.push(ev);
+  uint32_t slot;
+  const EventId id = AllocateSlot(std::move(cb), &slot);
+  queue_.push(QueueEntry{when, next_seq_++, slot, GenerationOf(id)});
   ++live_events_;
-  telemetry::Count("sim.events_scheduled");
-  return ev->id;
+  scheduled_counter_.Add();
+  return id;
 }
 
 bool Simulator::Cancel(EventId id) {
-  auto it = cancel_index_.find(id);
-  if (it == cancel_index_.end()) return false;
-  auto ev = it->second.lock();
-  cancel_index_.erase(it);
-  if (!ev || ev->cancelled) return false;
-  ev->cancelled = true;
-  ev->cb = nullptr;  // Release captured state eagerly.
+  const uint32_t index = SlotOf(id);
+  if (index >= slots_.size()) return false;
+  if (slots_[index].generation != GenerationOf(id)) {
+    return false;  // Already fired, already cancelled, or never existed.
+  }
+  ReleaseSlot(index);  // The heap entry goes stale and is skipped on pop.
   --live_events_;
-  telemetry::Count("sim.events_cancelled");
+  cancelled_counter_.Add();
   return true;
 }
 
-std::shared_ptr<Simulator::Event> Simulator::PopNextLive() {
+bool Simulator::PopNextLive(QueueEntry* entry) {
   while (!queue_.empty()) {
-    auto ev = queue_.top();
+    const QueueEntry top = queue_.top();
     queue_.pop();
-    if (!ev->cancelled) return ev;
+    if (slots_[top.slot].generation == top.generation) {
+      *entry = top;
+      return true;
+    }
   }
-  return nullptr;
+  return false;
 }
 
 bool Simulator::Step() {
-  auto ev = PopNextLive();
-  if (!ev) return false;
-  assert(ev->when >= now_);
-  now_ = ev->when;
+  QueueEntry entry;
+  if (!PopNextLive(&entry)) return false;
+  assert(entry.when >= now_);
+  now_ = entry.when;
   --live_events_;
   ++events_fired_;
-  cancel_index_.erase(ev->id);
-  telemetry::Count("sim.events_fired");
-  // Move the callback out so the event can schedule/cancel freely.
-  Callback cb = std::move(ev->cb);
+  fired_counter_.Add();
+  // Move the callback out before releasing the slot so the event can
+  // schedule/cancel freely (including reusing this very slot).
+  Callback cb = std::move(slots_[entry.slot].cb);
+  ReleaseSlot(entry.slot);
   cb();
   return true;
 }
@@ -77,20 +98,20 @@ void Simulator::Run() {
 }
 
 void Simulator::RunUntil(double when) {
-  while (true) {
-    auto ev = PopNextLive();
-    if (!ev) break;
-    if (ev->when > when) {
-      // Not due yet: push it back and stop.
-      queue_.push(ev);
+  QueueEntry entry;
+  while (PopNextLive(&entry)) {
+    if (entry.when > when) {
+      // Not due yet: push it back and stop. The entry is still valid (its
+      // slot was not released), so re-pushing preserves its identity.
+      queue_.push(entry);
       break;
     }
-    now_ = ev->when;
+    now_ = entry.when;
     --live_events_;
     ++events_fired_;
-    cancel_index_.erase(ev->id);
-    telemetry::Count("sim.events_fired");
-    Callback cb = std::move(ev->cb);
+    fired_counter_.Add();
+    Callback cb = std::move(slots_[entry.slot].cb);
+    ReleaseSlot(entry.slot);
     cb();
   }
   if (now_ < when) now_ = when;

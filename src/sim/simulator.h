@@ -3,16 +3,18 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "telemetry/telemetry.h"
 
 namespace hivesim::sim {
 
-/// Opaque handle to a scheduled event; usable to cancel it.
+/// Opaque handle to a scheduled event; usable to cancel it. Internally a
+/// pool-slot index packed with a generation tag (see `Simulator`), so a
+/// handle kept past its event's firing can never alias a recycled slot.
+/// Never zero for a real event, so 0 works as a "no event" sentinel.
 using EventId = uint64_t;
 
 /// Deterministic discrete-event simulation kernel.
@@ -21,6 +23,13 @@ using EventId = uint64_t;
 /// callback state machines driven by this queue. Two events scheduled for
 /// the same timestamp fire in scheduling order (FIFO tie-break), which
 /// keeps runs bit-reproducible.
+///
+/// Events live in a slab pool: each `Schedule` takes a slot from a free
+/// list (no per-event heap allocation) and the heap stores plain
+/// {when, seq, slot, generation} entries. `Cancel` bumps the slot's
+/// generation, which simultaneously invalidates the stale heap entry
+/// (detected lazily on pop) and every outstanding `EventId` for that
+/// slot — there is no cancellation map to maintain on the hot path.
 class Simulator {
  public:
   using Callback = std::function<void()>;
@@ -60,38 +69,65 @@ class Simulator {
 
   /// Number of events that have fired so far.
   uint64_t events_fired() const { return events_fired_; }
-  /// Number of events currently pending (including cancelled-but-queued).
+  /// Number of events currently pending. Cancelled events leave this
+  /// count immediately, even while their stale heap entries are still
+  /// queued awaiting lazy removal.
   size_t pending() const { return live_events_; }
 
  private:
-  struct Event {
-    double when;
-    uint64_t seq;
-    EventId id;
+  // An EventId packs the pool-slot index (high 32 bits) with the slot's
+  // generation at scheduling time (low 32 bits). Firing or cancelling
+  // bumps the generation, so stale ids and stale heap entries both fail
+  // the one-compare validity check. Generations skip 0 on wrap, which
+  // keeps every valid id nonzero.
+  static constexpr EventId PackId(uint32_t slot, uint32_t generation) {
+    return (static_cast<EventId>(slot) << 32) | generation;
+  }
+  static constexpr uint32_t SlotOf(EventId id) {
+    return static_cast<uint32_t>(id >> 32);
+  }
+  static constexpr uint32_t GenerationOf(EventId id) {
+    return static_cast<uint32_t>(id);
+  }
+
+  struct Slot {
     Callback cb;
-    bool cancelled = false;
+    uint32_t generation = 1;
   };
 
+  struct QueueEntry {
+    double when;
+    uint64_t seq;
+    uint32_t slot;
+    uint32_t generation;
+  };
   struct Later {
-    bool operator()(const std::shared_ptr<Event>& a,
-                    const std::shared_ptr<Event>& b) const {
-      if (a->when != b->when) return a->when > b->when;
-      return a->seq > b->seq;
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
     }
   };
 
+  /// Takes a pool slot, stores `cb`, and returns the packed id.
+  EventId AllocateSlot(Callback cb, uint32_t* slot_out);
+  /// Invalidates a slot (bumps generation) and returns it to the free
+  /// list; the caller has already moved the callback out if it needs it.
+  void ReleaseSlot(uint32_t slot);
+  /// Pops heap entries until one still matches its slot's generation.
+  /// Returns false when the heap is exhausted.
+  bool PopNextLive(QueueEntry* entry);
+
   double now_ = 0.0;
   uint64_t next_seq_ = 0;
-  uint64_t next_id_ = 1;
   uint64_t events_fired_ = 0;
   size_t live_events_ = 0;
-  std::priority_queue<std::shared_ptr<Event>,
-                      std::vector<std::shared_ptr<Event>>, Later>
-      queue_;
-  // Cancellation map: id -> event. Entries are erased when fired/cancelled.
-  std::unordered_map<EventId, std::weak_ptr<Event>> cancel_index_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
 
-  std::shared_ptr<Event> PopNextLive();
+  telemetry::CounterHandle scheduled_counter_{"sim.events_scheduled"};
+  telemetry::CounterHandle cancelled_counter_{"sim.events_cancelled"};
+  telemetry::CounterHandle fired_counter_{"sim.events_fired"};
 };
 
 }  // namespace hivesim::sim

@@ -1,5 +1,6 @@
 #include "telemetry/telemetry.h"
 
+#include <atomic>
 #include <cmath>
 #include <fstream>
 
@@ -127,6 +128,26 @@ void TraceRecorder::Clear() {
 }
 
 // --- MetricsRegistry ---
+
+namespace {
+// Epochs are globally unique across all registries ever constructed, so a
+// handle whose cached registry died and whose address was reused by a new
+// registry (common with stack-allocated registries in tests and sweep
+// cells) can never see a stale epoch match. Atomic because sweep workers
+// construct per-cell registries concurrently.
+uint64_t NextRegistryEpoch() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : epoch_(NextRegistryEpoch()) {}
+
+double* MetricsRegistry::CounterSlot(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return &it->second;
+  return &counters_.emplace(std::string(name), 0.0).first->second;
+}
 
 void MetricsRegistry::Count(std::string_view name, double delta) {
   const auto it = counters_.find(name);
@@ -266,6 +287,13 @@ void MetricsRegistry::Clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  epoch_ = NextRegistryEpoch();  // Invalidate cached counter slots.
+}
+
+void CounterHandle::Rebind(MetricsRegistry& registry) {
+  registry_ = &registry;
+  epoch_ = registry.epoch();
+  slot_ = registry.CounterSlot(name_);
 }
 
 std::string LabeledName(

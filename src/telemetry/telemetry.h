@@ -72,6 +72,8 @@ class TraceRecorder {
 /// are ordered so that `ToJson` output is deterministic.
 class MetricsRegistry {
  public:
+  MetricsRegistry();
+
   /// Adds `delta` to a (monotonic) counter, creating it at zero.
   void Count(std::string_view name, double delta = 1.0);
   /// Sets a gauge to its latest value.
@@ -90,6 +92,19 @@ class MetricsRegistry {
   double GaugeOr(std::string_view name, double fallback) const;
   /// Total observations of a histogram (0 when undefined).
   uint64_t HistogramCount(std::string_view name) const;
+
+  /// Stable address of a counter's value slot, creating the counter at
+  /// zero. The pointer stays valid until `Clear()` or destruction (the
+  /// backing map is node-based, so unrelated inserts never move it);
+  /// `CounterHandle` caches it together with `epoch()` to detect both.
+  double* CounterSlot(std::string_view name);
+
+  /// Identity stamp for cached counter-slot pointers: unique per live
+  /// registry instance and re-stamped by `Clear()`, so a handle that
+  /// cached a slot can tell "same registry, same contents generation"
+  /// apart from "different registry reusing this address" with one
+  /// integer compare.
+  uint64_t epoch() const { return epoch_; }
 
   /// Snapshot of everything as a JSON document, keys sorted — callable at
   /// any simulation time, byte-identical for identical runs.
@@ -115,6 +130,7 @@ class MetricsRegistry {
     uint64_t total = 0;
   };
 
+  uint64_t epoch_ = 0;
   std::map<std::string, double, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
@@ -218,6 +234,44 @@ inline void Observe(std::string_view name, double value) {
   if (Telemetry::Disabled()) return;
   Telemetry::metrics().Observe(name, value);
 }
+
+/// Pointer-stable handle to one counter: resolves the registry's
+/// `std::map<std::string>` slot once and bumps a raw double thereafter,
+/// so hot-path call sites (the simulator's per-event accounting, the
+/// network's per-delivery byte meters) skip the string hash + map walk
+/// that `Count()` pays on every call.
+///
+/// The cached slot is revalidated with two integer compares per `Add`:
+/// the handle rebinds when the calling thread's active registry changes
+/// (a `Telemetry::ScopedSinks` installed or removed) or when the cached
+/// registry's `epoch()` moved (it was `Clear()`ed, invalidating slot
+/// addresses). Like the sinks themselves, a handle instance must only be
+/// bumped from one thread at a time — embed it in the per-simulation
+/// object whose thread owns the recording.
+class CounterHandle {
+ public:
+  explicit CounterHandle(std::string name) : name_(std::move(name)) {}
+
+  /// Adds `delta` to the counter; no-op while telemetry is off.
+  void Add(double delta = 1.0) {
+    if (Telemetry::Disabled()) return;
+    MetricsRegistry& registry = Telemetry::metrics();
+    if (&registry != registry_ || registry.epoch() != epoch_) {
+      Rebind(registry);
+    }
+    *slot_ += delta;
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  void Rebind(MetricsRegistry& registry);
+
+  std::string name_;
+  MetricsRegistry* registry_ = nullptr;
+  uint64_t epoch_ = 0;
+  double* slot_ = nullptr;
+};
 
 }  // namespace hivesim::telemetry
 

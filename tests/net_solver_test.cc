@@ -1,0 +1,305 @@
+// Property tests for the incremental fair-share solver: randomized
+// arrival/cancel/finish sequences must produce the same rates as a
+// retained full-rebuild oracle (the pre-incremental progressive-filling
+// algorithm, solving every flow from scratch on each query), and two
+// identically seeded runs must be bit-identical.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/network.h"
+#include "net/profiles.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace hivesim::net {
+namespace {
+
+constexpr double kOracleEpsilonRate = 1e-9;
+
+// What the test knows about one live flow; mirrors what it passed to
+// StartFlow plus the derived per-flow cap.
+struct OracleFlow {
+  FlowId id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  double cap_bps = 0;
+};
+
+// The per-flow stream cap exactly as Network::StartFlow derives it:
+// `streams` TCP streams, each bounded by min(endpoint windows)/RTT and
+// any per-stream pacing, never exceeding the path or the app cap.
+double StreamCap(const Topology& topo, NodeId src, NodeId dst,
+                 const FlowOptions& options) {
+  const Path path = *topo.PathBetweenNodes(src, dst);
+  const int streams = std::max(1, options.streams);
+  double per_stream = std::numeric_limits<double>::infinity();
+  if (path.rtt_sec > 0) {
+    const double window = std::min(topo.ConfigOf(src).tcp_window_bytes,
+                                   topo.ConfigOf(dst).tcp_window_bytes);
+    per_stream = window / path.rtt_sec;
+  }
+  if (path.single_stream_bps > 0) {
+    per_stream = std::min(per_stream, path.single_stream_bps);
+  }
+  double cap = std::min(path.bandwidth_bps, streams * per_stream);
+  return std::min(cap, options.app_rate_cap_bps);
+}
+
+// Full-rebuild max-min fair share: the retained reference implementation
+// of the solver the incremental version replaced. Progressive filling —
+// raise all unfrozen flows uniformly until a per-flow cap or a shared
+// resource binds, freeze, repeat.
+std::unordered_map<FlowId, double> OracleRates(
+    const Topology& topo, const std::vector<OracleFlow>& flows) {
+  struct Key {
+    int kind;  // 0 egress, 1 ingress, 2 path.
+    uint64_t a, b;
+    bool operator==(const Key& o) const {
+      return kind == o.kind && a == o.a && b == o.b;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()((static_cast<uint64_t>(k.kind) << 62) ^
+                                   (k.a * 0x9e3779b97f4a7c15ULL) ^ k.b);
+    }
+  };
+  struct Res {
+    double remaining = 0;
+    int unfrozen = 0;
+  };
+  std::unordered_map<Key, Res, KeyHash> resources;
+  struct Work {
+    const OracleFlow* flow;
+    Key keys[3];
+    int num_keys = 0;
+    double alloc = 0;
+    bool frozen = false;
+  };
+  std::vector<Work> work;
+  for (const OracleFlow& f : flows) {
+    Work w;
+    w.flow = &f;
+    const SiteId ssite = topo.SiteOf(f.src);
+    const SiteId dsite = topo.SiteOf(f.dst);
+    Key keys[3];
+    double caps[3];
+    int n = 0;
+    keys[n] = {0, f.src, 0};
+    caps[n++] = topo.EgressCap(f.src);
+    keys[n] = {1, f.dst, 0};
+    caps[n++] = topo.IngressCap(f.dst);
+    if (ssite != dsite) {
+      keys[n] = {2, ssite, dsite};
+      auto path = topo.PathBetween(ssite, dsite);
+      caps[n++] = path.ok() ? path->bandwidth_bps : 0.0;
+    }
+    for (int i = 0; i < n; ++i) {
+      w.keys[i] = keys[i];
+      auto [it, inserted] = resources.try_emplace(keys[i]);
+      if (inserted) it->second.remaining = caps[i];
+      ++it->second.unfrozen;
+    }
+    w.num_keys = n;
+    work.push_back(w);
+  }
+
+  size_t frozen_count = 0;
+  while (frozen_count < work.size()) {
+    double delta = std::numeric_limits<double>::infinity();
+    for (const auto& [key, res] : resources) {
+      if (res.unfrozen > 0) delta = std::min(delta, res.remaining / res.unfrozen);
+    }
+    for (const auto& w : work) {
+      if (!w.frozen) delta = std::min(delta, w.flow->cap_bps - w.alloc);
+    }
+    if (!std::isfinite(delta) || delta < 0) delta = 0;
+    for (auto& w : work) {
+      if (!w.frozen) w.alloc += delta;
+    }
+    for (auto& [key, res] : resources) {
+      res.remaining -= delta * res.unfrozen;
+    }
+    bool froze_any = false;
+    for (auto& w : work) {
+      if (w.frozen) continue;
+      bool freeze = w.alloc >= w.flow->cap_bps - kOracleEpsilonRate;
+      if (!freeze) {
+        for (int i = 0; i < w.num_keys; ++i) {
+          if (resources.at(w.keys[i]).remaining <= kOracleEpsilonRate) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        w.frozen = true;
+        froze_any = true;
+        ++frozen_count;
+        for (int i = 0; i < w.num_keys; ++i) --resources.at(w.keys[i]).unfrozen;
+      }
+    }
+    if (!froze_any) {
+      for (auto& w : work) {
+        if (!w.frozen) {
+          w.frozen = true;
+          ++frozen_count;
+        }
+      }
+    }
+  }
+
+  std::unordered_map<FlowId, double> rates;
+  for (const Work& w : work) rates[w.flow->id] = w.alloc;
+  return rates;
+}
+
+// Harness for one randomized churn scenario against the oracle.
+class SolverScenario {
+ public:
+  explicit SolverScenario(uint64_t seed) : rng_(seed) {
+    topo_ = StandardWorld();
+    for (SiteId site = 0; site < topo_.num_sites(); ++site) {
+      for (int i = 0; i < 4; ++i) {
+        nodes_.push_back(topo_.AddNode(site, CloudVmNetConfig()));
+      }
+    }
+    network_ = std::make_unique<Network>(&sim_, &topo_);
+  }
+
+  void StartRandomFlow() {
+    const size_t src_idx =
+        static_cast<size_t>(rng_.UniformInt(0, nodes_.size() - 1));
+    size_t dst_idx =
+        static_cast<size_t>(rng_.UniformInt(0, nodes_.size() - 1));
+    if (dst_idx == src_idx) dst_idx = (src_idx + 3) % nodes_.size();
+    const NodeId src = nodes_[src_idx];
+    const NodeId dst = nodes_[dst_idx];
+    FlowOptions options;
+    options.streams = static_cast<int>(rng_.UniformInt(1, 8));
+    if (rng_.Bernoulli(0.3)) {
+      options.app_rate_cap_bps = rng_.Uniform(10 * kMB, 500 * kMB);
+    }
+    const double bytes = rng_.Uniform(2 * kMB, 80 * kMB);
+    // The completion callback erases the flow from the oracle's live set;
+    // the id cell is filled in right after StartFlow returns, before any
+    // simulated time (and hence the completion) can elapse.
+    auto idcell = std::make_shared<FlowId>(0);
+    auto id = network_->StartFlow(
+        src, dst, bytes, [this, idcell] { live_.erase(*idcell); }, options);
+    ASSERT_TRUE(id.ok());
+    *idcell = *id;
+    live_[*id] = OracleFlow{*id, src, dst, StreamCap(topo_, src, dst, options)};
+  }
+
+  void CancelRandomFlow() {
+    if (live_.empty()) return;
+    auto it = live_.begin();
+    std::advance(it, rng_.UniformInt(0, live_.size() - 1));
+    EXPECT_TRUE(network_->CancelFlow(it->first));
+    live_.erase(it);
+  }
+
+  void Advance(double dt) { sim_.RunUntil(sim_.Now() + dt); }
+
+  void CheckRatesAgainstOracle() {
+    std::vector<OracleFlow> flows;
+    flows.reserve(live_.size());
+    for (const auto& [id, f] : live_) flows.push_back(f);
+    const auto expected = OracleRates(topo_, flows);
+    for (const auto& [id, f] : live_) {
+      const double got = network_->FlowRate(id);
+      const double want = expected.at(id);
+      const double tolerance = std::max(1.0, want * 1e-6);
+      EXPECT_NEAR(got, want, tolerance)
+          << "flow " << id << " src=" << f.src << " dst=" << f.dst
+          << " cap=" << f.cap_bps;
+    }
+  }
+
+  sim::Simulator sim_;
+  Topology topo_;
+  std::unique_ptr<Network> network_;
+  std::vector<NodeId> nodes_;
+  std::unordered_map<FlowId, OracleFlow> live_;
+  Rng rng_;
+};
+
+TEST(NetSolverPropertyTest, RandomChurnMatchesFullRebuildOracle) {
+  for (uint64_t seed : {3u, 17u, 101u}) {
+    SolverScenario scenario(seed);
+    for (int step = 0; step < 120; ++step) {
+      const double roll = scenario.rng_.Uniform();
+      if (roll < 0.55 || scenario.live_.size() < 4) {
+        scenario.StartRandomFlow();
+      } else if (roll < 0.8) {
+        scenario.CancelRandomFlow();
+      } else {
+        scenario.Advance(scenario.rng_.Uniform(0.01, 0.5));
+      }
+      scenario.CheckRatesAgainstOracle();
+    }
+  }
+}
+
+TEST(NetSolverPropertyTest, RefreshAfterPathChangeMatchesOracle) {
+  SolverScenario scenario(/*seed=*/7);
+  for (int i = 0; i < 24; ++i) scenario.StartRandomFlow();
+  scenario.CheckRatesAgainstOracle();
+
+  // Degrade the first WAN path the topology knows, then recover it; the
+  // oracle reads the same topology, so both must track the change.
+  scenario.topo_.SetPath(0, 1, MbpsToBytesPerSec(20), MsToSec(300));
+  scenario.network_->Refresh();
+  scenario.CheckRatesAgainstOracle();
+
+  scenario.topo_.SetPath(0, 1, MbpsToBytesPerSec(210), MsToSec(103));
+  scenario.network_->Refresh();
+  scenario.CheckRatesAgainstOracle();
+}
+
+// Completion-order log of one seeded churn run; two runs must match
+// exactly (bit-identical times, identical order).
+std::vector<std::pair<double, uint64_t>> RunSeededChurn(uint64_t seed) {
+  SolverScenario scenario(seed);
+  std::vector<std::pair<double, uint64_t>> log;
+  for (int i = 0; i < 40; ++i) {
+    const NodeId src = scenario.nodes_[i % scenario.nodes_.size()];
+    const NodeId dst =
+        scenario.nodes_[(i * 7 + 3) % scenario.nodes_.size()];
+    if (src == dst) continue;
+    const double bytes = scenario.rng_.Uniform(2 * kMB, 40 * kMB);
+    const uint64_t tag = i;
+    auto id = scenario.network_->StartFlow(
+        src, dst, bytes,
+        [&log, &scenario, tag] {
+          log.emplace_back(scenario.sim_.Now(), tag);
+        });
+    EXPECT_TRUE(id.ok());
+  }
+  scenario.sim_.Run();
+  return log;
+}
+
+TEST(NetSolverPropertyTest, SameSeedTwiceIsBitIdentical) {
+  const auto a = RunSeededChurn(23);
+  const auto b = RunSeededChurn(23);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first) << "completion time diverged at " << i;
+    EXPECT_EQ(a[i].second, b[i].second) << "completion order diverged at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hivesim::net

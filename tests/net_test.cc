@@ -228,6 +228,41 @@ TEST_F(NetworkTest, MetersTrackNodeAndSiteTraffic) {
   EXPECT_DOUBLE_EQ(network_.NodeEgressBytes(n0_), 0);
 }
 
+TEST_F(NetworkTest, SitePairAggregateMatchesNodePairSums) {
+  // BytesBetweenSites is served from an aggregate maintained at metering
+  // time; it must equal the brute-force sum over all node pairs for every
+  // directed site pair, including partially delivered flows.
+  BuildTwoSites(10, 100, 1);
+  ASSERT_TRUE(network_.StartFlow(n0_, n2_, 10 * kMB, nullptr).ok());
+  ASSERT_TRUE(network_.StartFlow(n1_, n2_, 5 * kMB, nullptr).ok());
+  ASSERT_TRUE(network_.StartFlow(n0_, n1_, 2 * kMB, nullptr).ok());
+  ASSERT_TRUE(network_.SendMessage(n2_, n0_, 64 * kKB, nullptr).ok());
+  sim_.RunUntil(0.05);  // Mid-flight: some flows only partially metered.
+
+  auto check_all_pairs = [&] {
+    for (SiteId s = 0; s < topo_.num_sites(); ++s) {
+      for (SiteId d = 0; d < topo_.num_sites(); ++d) {
+        double sum = 0;
+        for (NodeId a = 0; a < topo_.num_nodes(); ++a) {
+          for (NodeId b = 0; b < topo_.num_nodes(); ++b) {
+            if (topo_.SiteOf(a) == s && topo_.SiteOf(b) == d) {
+              sum += network_.BytesBetweenNodes(a, b);
+            }
+          }
+        }
+        EXPECT_NEAR(network_.BytesBetweenSites(s, d), sum, 1e-6)
+            << "site pair " << s << "->" << d;
+      }
+    }
+  };
+  check_all_pairs();
+  sim_.Run();  // Everything delivered.
+  check_all_pairs();
+  network_.ResetMeters();
+  check_all_pairs();  // Aggregate resets with the node meters.
+  EXPECT_DOUBLE_EQ(network_.BytesBetweenSites(a_, b_), 0);
+}
+
 TEST_F(NetworkTest, PeakEgressRateRecorded) {
   BuildTwoSites(10, 100, 1);
   ASSERT_TRUE(network_.StartFlow(n0_, n1_, 125 * kMB, nullptr).ok());

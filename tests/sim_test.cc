@@ -188,5 +188,93 @@ TEST(SimulatorTest, ScheduleAtPastClampsToNow) {
   EXPECT_DOUBLE_EQ(fired_at, 4.0);
 }
 
+TEST(SimulatorTest, CancelThenPendingDropsImmediately) {
+  // pending() excludes a cancelled event the moment Cancel returns, even
+  // though its stale heap entry is only discarded lazily on pop.
+  Simulator sim;
+  EventId a = sim.Schedule(1.0, [] {});
+  EventId b = sim.Schedule(2.0, [] {});
+  EventId c = sim.Schedule(3.0, [] {});
+  EXPECT_EQ(sim.pending(), 3u);
+  EXPECT_TRUE(sim.Cancel(b));
+  EXPECT_EQ(sim.pending(), 2u);  // No lag waiting for the heap to drain.
+  EXPECT_TRUE(sim.Cancel(a));
+  EXPECT_TRUE(sim.Cancel(c));
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_FALSE(sim.Step());  // Only stale entries remain in the heap.
+  EXPECT_EQ(sim.events_fired(), 0u);
+}
+
+TEST(SimulatorTest, StaleIdAfterSlotReuseDoesNotCancelNewEvent) {
+  // Cancelling frees the pool slot; the next Schedule may reuse it. The
+  // old id carries the old generation and must not touch the new event.
+  Simulator sim;
+  EventId old_id = sim.Schedule(1.0, [] { FAIL() << "cancelled event fired"; });
+  EXPECT_TRUE(sim.Cancel(old_id));
+  bool fired = false;
+  EventId new_id = sim.Schedule(1.0, [&] { fired = true; });
+  EXPECT_NE(old_id, new_id);
+  EXPECT_FALSE(sim.Cancel(old_id));  // Stale generation: a no-op.
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, IdFromFiredEventStaysInvalidAcrossReuse) {
+  Simulator sim;
+  EventId first = sim.Schedule(1.0, [] {});
+  sim.Run();
+  // The slot is free again; reschedule (likely reusing it) and verify the
+  // fired event's id can no longer cancel anything.
+  bool fired = false;
+  sim.Schedule(1.0, [&] { fired = true; });
+  EXPECT_FALSE(sim.Cancel(first));
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, CallbackCanReuseItsOwnSlot) {
+  // A firing event's slot is released before its callback runs, so the
+  // callback's own Schedule may land in the same slot. The new event must
+  // be live and cancellable under its fresh generation.
+  Simulator sim;
+  EventId inner = 0;
+  bool inner_fired = false;
+  sim.Schedule(1.0, [&] {
+    inner = sim.Schedule(1.0, [&] { inner_fired = true; });
+  });
+  sim.RunUntil(1.5);
+  ASSERT_NE(inner, 0u);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_TRUE(sim.Cancel(inner));
+  sim.Run();
+  EXPECT_FALSE(inner_fired);
+}
+
+TEST(SimulatorTest, HeavyCancelRescheduleKeepsPoolConsistent) {
+  // Storm of schedule/cancel cycles across a small live set: every id
+  // stays unique-per-lifetime, cancelled events never fire, survivors all
+  // fire exactly once in time order.
+  Simulator sim;
+  std::vector<EventId> live;
+  int fired = 0;
+  double last = 0.0;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      live.push_back(sim.Schedule(1.0 + (round * 8 + i) % 13, [&] {
+        EXPECT_GE(sim.Now(), last);
+        last = sim.Now();
+        ++fired;
+      }));
+    }
+    // Cancel half of what we just scheduled.
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(sim.Cancel(live[live.size() - 1 - 2 * i]));
+    }
+  }
+  sim.Run();
+  EXPECT_EQ(fired, 200 * 4);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace hivesim::sim
