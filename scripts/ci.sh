@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus the sanitizer suite, exactly as CI runs it:
-#   1. RelWithDebInfo build (preset "default") + full ctest,
-#   2. ASan/UBSan build (preset "asan") + full ctest under sanitizers,
-#   3. ThreadSanitizer build (preset "tsan") running the concurrency
-#      surface — sweep_test (thread pool, parallel cells, aggregator) and
-#      telemetry_test (thread-local sink routing),
-#   4. a smoke run of the telemetry pipeline (trace_tour -> trace JSON ->
+# Tier-1 verification plus static analysis and the sanitizer suite,
+# exactly as CI runs it:
+#   1. RelWithDebInfo build (preset "default", -Werror) + full ctest,
+#   2. static analysis, before any sanitizer spend: `hivesim lint`
+#      (determinism & layering rules D1-D4/L1/P1 over every TU in
+#      compile_commands.json; docs/STATIC_ANALYSIS.md) and clang-tidy
+#      with the committed .clang-tidy profile (skipped with a notice
+#      when clang-tidy is not installed),
+#   3. ASan/UBSan build (preset "asan", -Werror) + full ctest,
+#   4. ThreadSanitizer build (preset "tsan", -Werror) running the
+#      concurrency surface — sweep_test (thread pool, parallel cells,
+#      aggregator) and telemetry_test (thread-local sink routing),
+#   5. a smoke run of the telemetry pipeline (trace_tour -> trace JSON ->
 #      scripts/trace_summary.py) so the observability path stays healthy,
-#   5. a perf smoke: the two simulation-kernel microbenchmarks run
+#   6. a perf smoke: the two simulation-kernel microbenchmarks run
 #      briefly from the optimized build. Each binary self-checks
 #      determinism first (two identically seeded churn runs must match
 #      exactly) and exits non-zero on divergence or crash, so solver and
@@ -15,18 +21,34 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== tier-1: configure + build + test (preset: default) ==="
-cmake --preset default
+echo "=== tier-1: configure + build + test (preset: default, -Werror) ==="
+cmake --preset default -DHIVESIM_WERROR=ON
 cmake --build --preset default -j "$(nproc)"
 ctest --preset default -j "$(nproc)"
 
-echo "=== sanitizers: configure + build + test (preset: asan) ==="
-cmake --preset asan
+echo "=== lint: hivesim lint (D1-D4, L1, P1) ==="
+./build/tools/hivesim lint \
+  --root . --compile-commands build/compile_commands.json
+
+echo "=== lint: clang-tidy (.clang-tidy profile) ==="
+if command -v run-clang-tidy > /dev/null 2>&1; then
+  run-clang-tidy -quiet -p build "^$(pwd)/(src|tools|bench)/"
+elif command -v clang-tidy > /dev/null 2>&1; then
+  # shellcheck disable=SC2046 -- file list is intentionally word-split.
+  clang-tidy --quiet -p build $(find src tools bench -name '*.cc' | sort)
+else
+  echo "clang-tidy not installed — skipping (hivesim lint above still"
+  echo "gates the determinism/layering rules; install clang-tidy to run"
+  echo "the bugprone/performance/concurrency profile locally)"
+fi
+
+echo "=== sanitizers: configure + build + test (preset: asan, -Werror) ==="
+cmake --preset asan -DHIVESIM_WERROR=ON
 cmake --build --preset asan -j "$(nproc)"
 ctest --preset asan -j "$(nproc)"
 
-echo "=== concurrency: configure + build + test (preset: tsan) ==="
-cmake --preset tsan
+echo "=== concurrency: configure + build + test (preset: tsan, -Werror) ==="
+cmake --preset tsan -DHIVESIM_WERROR=ON
 cmake --build --preset tsan -j "$(nproc)" --target sweep_test telemetry_test
 ctest --preset tsan -j "$(nproc)" --tests-regex 'Sweep|ThreadPool|Telemetry'
 

@@ -1,12 +1,12 @@
 #include "core/sweep_runner.h"
 
-#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <optional>
 #include <utility>
 
+#include "common/host_clock.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "faults/chaos.h"
@@ -71,9 +71,7 @@ Status WriteFileOrError(const std::filesystem::path& path,
   return Status::OK();
 }
 
-Status WriteOutputs(const SweepOptions& options,
-                    const SweepAggregator& aggregator,
-                    SweepRunSummary& summary) {
+Status WriteOutputs(const SweepOptions& options, SweepRunSummary& summary) {
   namespace fs = std::filesystem;
   std::error_code ec;
   const fs::path root(options.out_dir);
@@ -126,7 +124,10 @@ Result<SweepRunSummary> RunSweep(const SweepSpec& spec,
   const bool capture_telemetry =
       options.per_run_telemetry || telemetry::Telemetry::Enabled();
 
-  const auto start = std::chrono::steady_clock::now();
+  // Host wall time (not simulated time) for operator feedback only:
+  // `wall_sec` is printed to stdout and never written to report files,
+  // which must stay byte-identical across identically seeded runs.
+  const double start_sec = HostClock::Seconds();
   {
     ThreadPool pool(options.threads);
     for (const SweepCell& cell : cells) {
@@ -138,9 +139,7 @@ Result<SweepRunSummary> RunSweep(const SweepSpec& spec,
   }
 
   SweepRunSummary summary;
-  summary.wall_sec =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  summary.wall_sec = HostClock::Seconds() - start_sec;
   summary.report_json = aggregator.ReportJson();
   summary.report_csv = aggregator.ReportCsv();
   summary.manifest_json = aggregator.ManifestJson();
@@ -152,7 +151,7 @@ Result<SweepRunSummary> RunSweep(const SweepSpec& spec,
     summary.outcomes.push_back(aggregator.outcome(i));
   }
   if (!options.out_dir.empty()) {
-    HIVESIM_RETURN_IF_ERROR(WriteOutputs(options, aggregator, summary));
+    HIVESIM_RETURN_IF_ERROR(WriteOutputs(options, summary));
   }
   return summary;
 }

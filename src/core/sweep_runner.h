@@ -28,8 +28,9 @@ struct SweepOptions {
 };
 
 /// A finished sweep: per-cell outcomes (cell order) and the aggregated
-/// renderings. `wall_sec` is the only wall-clock-dependent field and is
-/// never written to any output file.
+/// renderings. `wall_sec` is the only wall-clock-dependent field
+/// (measured via hivesim::HostClock, the one sanctioned host clock) and
+/// is never written to any output file.
 struct SweepRunSummary {
   std::vector<SweepCell> cells;
   std::vector<SweepCellOutcome> outcomes;

@@ -313,7 +313,7 @@ void Trainer::ScheduleApplyAndFinish() {
   const uint64_t gen = generation_;
   network_->simulator().Schedule(apply, [this, gen] {
     if (gen != generation_) return;
-    FinishEpoch(network_->simulator().Now() - averaging_started_);
+    FinishEpoch();
   });
 }
 
@@ -410,7 +410,7 @@ void Trainer::CancelRoundWatchdog() {
   has_watchdog_event_ = false;
 }
 
-void Trainer::FinishEpoch(double comm_wall_sec) {
+void Trainer::FinishEpoch() {
   if (!running_) return;
   const double now = network_->simulator().Now();
 

@@ -179,7 +179,9 @@ class Trainer {
   void ScheduleAveraging();
   void BeginAveraging();
   void RunAllReduce();
-  void FinishEpoch(double comm_wall_sec);
+  /// Books the finished round's stats; the comm span is derived from
+  /// simulator time and `averaging_started_` internally.
+  void FinishEpoch();
   /// Common round tail: the (overlappable) optimizer apply, then
   /// FinishEpoch. Generation-checked.
   void ScheduleApplyAndFinish();

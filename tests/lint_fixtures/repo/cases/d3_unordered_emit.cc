@@ -1,0 +1,15 @@
+// Seeded D3 violation: a file that reaches emission (includes the
+// emitter header and touches JsonWriter) iterating an unordered map in
+// hash order.
+#include <string>
+#include <unordered_map>
+
+#include "common/json.h"
+
+void EmitCounts(const std::unordered_map<std::string, int>& counts) {
+  JsonWriter json;
+  for (const auto& entry : counts) {  // line 11: D3
+    (void)entry;
+    json.Emit();
+  }
+}

@@ -1,0 +1,14 @@
+// Seeded D4 violations: pointer identity formatted and hashed.
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+
+struct Peer {};
+
+void LeakPointerIdentity(const Peer* peer) {
+  std::printf("peer at %p\n", static_cast<const void*>(peer));  // line 9: D4 x2
+  const std::size_t bucket = std::hash<const Peer*>{}(peer);    // line 10: D4
+  const auto raw = reinterpret_cast<uintptr_t>(peer);           // line 11: D4
+  (void)bucket;
+  (void)raw;
+}

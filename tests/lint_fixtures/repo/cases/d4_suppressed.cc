@@ -1,0 +1,8 @@
+// A sanctioned pointer-to-integer cast (e.g. an arena base offset),
+// pragma on the preceding line.
+#include <cstdint>
+
+uintptr_t ArenaBase(const void* base) {
+  // hivesim-lint: allow(D4) reason=fixture exercising the suppression path
+  return reinterpret_cast<uintptr_t>(base);
+}

@@ -1,0 +1,9 @@
+// Seeded P1 violations: a reasonless pragma and a stale one.
+#include <cstdlib>
+
+int BadPragmas() {
+  // hivesim-lint: allow(D1)
+  const int a = rand();  // line 6: D1 (pragma above is malformed -> no effect)
+  // hivesim-lint: allow(D2) reason=stale suppression with nothing underneath
+  return a;
+}

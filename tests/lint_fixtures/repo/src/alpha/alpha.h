@@ -1,0 +1,6 @@
+#ifndef HIVESIM_LINT_FIXTURE_ALPHA_H_
+#define HIVESIM_LINT_FIXTURE_ALPHA_H_
+
+inline int AlphaValue() { return 1; }
+
+#endif

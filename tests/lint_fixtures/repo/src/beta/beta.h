@@ -1,0 +1,8 @@
+#ifndef HIVESIM_LINT_FIXTURE_BETA_H_
+#define HIVESIM_LINT_FIXTURE_BETA_H_
+
+#include "alpha/alpha.h"
+
+inline int BetaValue() { return AlphaValue() + 1; }
+
+#endif

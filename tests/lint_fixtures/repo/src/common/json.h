@@ -1,0 +1,10 @@
+// Fixture stand-in for the real emitter header: its path suffix
+// (common/json.h) is what marks including files emission-reachable.
+#ifndef HIVESIM_LINT_FIXTURE_JSON_H_
+#define HIVESIM_LINT_FIXTURE_JSON_H_
+
+struct JsonWriter {
+  void Emit();
+};
+
+#endif

@@ -1,0 +1,6 @@
+// An undeclared cross-layer include carrying an annotated exception:
+// suppressed when delta.cc is lexed (extra_files), reported otherwise.
+// hivesim-lint: allow(L1) reason=fixture exercising layering suppression
+#include "beta/beta.h"
+
+int DeltaValue() { return BetaValue() + 1; }

@@ -1,0 +1,6 @@
+// Seeded L1 violation: gamma may only depend on alpha, but reaches
+// into beta via both the include below and its CMake link line.
+#include "alpha/alpha.h"
+#include "beta/beta.h"
+
+int GammaValue() { return AlphaValue() + BetaValue(); }

@@ -1,0 +1,335 @@
+// Tests for hivesim-lint (tools/lint): every rule fires on its seeded
+// fixture with the exact diagnostic text, every suppressed variant
+// passes, pragma hygiene is itself linted, and the real repository's
+// module layering stays clean under the declared DAG.
+//
+// Fixtures live in tests/lint_fixtures/repo, a miniature repository
+// (src/ modules with CMakeLists + a cases/ directory of seeded
+// violations). The analyzer is exercised through the same RunLint
+// entry point `hivesim lint` uses.
+
+#include "lint/lint.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lint/layering.h"
+#include "lint/lexer.h"
+
+namespace hivesim::lint {
+namespace {
+
+constexpr char kFixtureRepo[] = HIVESIM_LINT_FIXTURE_DIR;
+constexpr char kRepoRoot[] = HIVESIM_REPO_ROOT;
+
+/// The fixture repo's declared module DAG (mirrors the real config's
+/// shape: every directory under src/ must be declared).
+LintConfig FixtureConfig() {
+  LintConfig config;
+  config.module_dag = {
+      {"common", {}},       {"alpha", {}},        {"beta", {"alpha"}},
+      {"gamma", {"alpha"}}, {"delta", {}},
+  };
+  return config;
+}
+
+LintReport RunOn(const std::vector<std::string>& files,
+                 bool check_layering = false,
+                 const LintConfig& config = LintConfig()) {
+  LintOptions options;
+  options.repo_root = kFixtureRepo;
+  options.extra_files = files;
+  options.check_layering = check_layering;
+  options.config = config;
+  auto report = RunLint(options);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? *report : LintReport{};
+}
+
+// ---- Lexer ----------------------------------------------------------
+
+TEST(LintLexer, DistinguishesCodeFromStringsAndComments) {
+  const LexedFile lex = Lex(
+      "int x = rand();  // rand() in a comment\n"
+      "const char* s = \"rand() in a string\";\n");
+  int rand_idents = 0;
+  int strings = 0;
+  for (const Token& tok : lex.tokens) {
+    if (tok.kind == TokKind::kIdentifier && tok.text == "rand") ++rand_idents;
+    if (tok.kind == TokKind::kString) ++strings;
+  }
+  EXPECT_EQ(rand_idents, 1);  // Only the call on line 1.
+  EXPECT_EQ(strings, 1);
+  EXPECT_TRUE(lex.pragmas.empty());
+}
+
+TEST(LintLexer, ParsesWellFormedPragma) {
+  const LexedFile lex =
+      Lex("// hivesim-lint: allow(D2) reason=operator-facing timer\n");
+  ASSERT_EQ(lex.pragmas.size(), 1u);
+  EXPECT_FALSE(lex.pragmas[0].malformed);
+  EXPECT_EQ(lex.pragmas[0].rule, "D2");
+  EXPECT_EQ(lex.pragmas[0].reason, "operator-facing timer");
+  EXPECT_EQ(lex.pragmas[0].line, 1);
+}
+
+TEST(LintLexer, PragmaWithoutReasonIsMalformed) {
+  const LexedFile lex = Lex("// hivesim-lint: allow(D1)\n");
+  ASSERT_EQ(lex.pragmas.size(), 1u);
+  EXPECT_TRUE(lex.pragmas[0].malformed);
+}
+
+TEST(LintLexer, MidSentenceMentionIsNotAPragma) {
+  const LexedFile lex =
+      Lex("// suppress with `hivesim-lint: allow(D1) reason=...` pragmas\n");
+  EXPECT_TRUE(lex.pragmas.empty());
+}
+
+TEST(LintLexer, RecordsQuotedIncludes) {
+  const LexedFile lex =
+      Lex("#include \"common/json.h\"\n#include <random>\n");
+  ASSERT_EQ(lex.quoted_includes.size(), 1u);
+  EXPECT_EQ(lex.quoted_includes[0], "common/json.h");
+}
+
+// ---- D1: entropy ----------------------------------------------------
+
+TEST(LintRules, D1FlagsEveryEntropySource) {
+  const LintReport report = RunOn({"cases/d1_entropy.cc"});
+  ASSERT_EQ(report.diagnostics.size(), 3u);
+  const Diagnostic& first = report.diagnostics[0];
+  EXPECT_EQ(first.file, "cases/d1_entropy.cc");
+  EXPECT_EQ(first.line, 6);
+  EXPECT_EQ(first.rule, "D1");
+  EXPECT_EQ(first.message,
+            "nondeterministic entropy source 'random_device'; draw from "
+            "the seeded hivesim::Rng (common/rng.h)");
+  EXPECT_EQ(report.diagnostics[1].line, 7);
+  EXPECT_EQ(report.diagnostics[1].message,
+            "nondeterministic entropy source 'rand'; draw from the seeded "
+            "hivesim::Rng (common/rng.h)");
+  EXPECT_EQ(report.diagnostics[2].line, 8);
+  EXPECT_EQ(report.diagnostics[2].message,
+            "nondeterministic entropy source 'srand'; draw from the seeded "
+            "hivesim::Rng (common/rng.h)");
+  EXPECT_EQ(ExitCode(report), 1);
+}
+
+TEST(LintRules, D1SuppressedWithReasonPasses) {
+  const LintReport report = RunOn({"cases/d1_suppressed.cc"});
+  EXPECT_TRUE(report.diagnostics.empty()) << FormatReport(report);
+  EXPECT_EQ(ExitCode(report), 0);
+}
+
+// ---- D2: wall clock -------------------------------------------------
+
+TEST(LintRules, D2FlagsClockTypeAndLibcCall) {
+  const LintReport report = RunOn({"cases/d2_wallclock.cc"});
+  ASSERT_EQ(report.diagnostics.size(), 2u);
+  EXPECT_EQ(report.diagnostics[0].line, 6);
+  EXPECT_EQ(report.diagnostics[0].rule, "D2");
+  EXPECT_EQ(report.diagnostics[0].message,
+            "wall-clock read 'system_clock'; simulation logic uses "
+            "sim::Simulator::Now(), host timing goes through "
+            "hivesim::HostClock (common/host_clock.h)");
+  EXPECT_EQ(report.diagnostics[1].line, 8);
+  EXPECT_EQ(report.diagnostics[1].message,
+            "wall-clock read 'time'; simulation logic uses "
+            "sim::Simulator::Now(), host timing goes through "
+            "hivesim::HostClock (common/host_clock.h)");
+}
+
+TEST(LintRules, D2SameLinePragmaSuppresses) {
+  const LintReport report = RunOn({"cases/d2_suppressed.cc"});
+  EXPECT_TRUE(report.diagnostics.empty()) << FormatReport(report);
+}
+
+// ---- D3: unordered iteration near emission --------------------------
+
+TEST(LintRules, D3FlagsHashOrderIterationInEmitterFile) {
+  const LintReport report = RunOn({"cases/d3_unordered_emit.cc"});
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].line, 11);
+  EXPECT_EQ(report.diagnostics[0].rule, "D3");
+  EXPECT_EQ(report.diagnostics[0].message,
+            "range-for over unordered container 'counts' in an "
+            "emission-reachable file; emit in sorted key order instead");
+}
+
+TEST(LintRules, D3SortedWrapperPasses) {
+  const LintReport report = RunOn({"cases/d3_sorted_ok.cc"});
+  EXPECT_TRUE(report.diagnostics.empty()) << FormatReport(report);
+}
+
+TEST(LintRules, D3QuietOutsideEmissionReach) {
+  const LintReport report = RunOn({"cases/d3_no_emission.cc"});
+  EXPECT_TRUE(report.diagnostics.empty()) << FormatReport(report);
+}
+
+// ---- D4: pointer identity -------------------------------------------
+
+TEST(LintRules, D4FlagsFormattingAndHashingPointers) {
+  const LintReport report = RunOn({"cases/d4_pointer.cc"});
+  ASSERT_EQ(report.diagnostics.size(), 4u);
+  // Line 9 carries two findings: the %p format and the void* cast.
+  EXPECT_EQ(report.diagnostics[0].line, 9);
+  EXPECT_EQ(report.diagnostics[0].message,
+            "cast to void* (pointer formatting); pointer values are "
+            "nondeterministic across runs");
+  EXPECT_EQ(report.diagnostics[1].line, 9);
+  EXPECT_EQ(report.diagnostics[1].message,
+            std::string("format string contains '") + "%" +
+                "p'; pointer values are nondeterministic across runs");
+  EXPECT_EQ(report.diagnostics[2].line, 10);
+  EXPECT_EQ(report.diagnostics[2].message,
+            "std::hash over a pointer type; pointer identity is "
+            "nondeterministic across runs");
+  EXPECT_EQ(report.diagnostics[3].line, 11);
+  EXPECT_EQ(report.diagnostics[3].message,
+            "reinterpret_cast of a pointer to an integer; pointer values "
+            "must not be hashed, ordered, or printed");
+}
+
+TEST(LintRules, D4SuppressedOnPrecedingLinePasses) {
+  const LintReport report = RunOn({"cases/d4_suppressed.cc"});
+  EXPECT_TRUE(report.diagnostics.empty()) << FormatReport(report);
+}
+
+// ---- P1: pragma hygiene ---------------------------------------------
+
+TEST(LintRules, P1MalformedAndStalePragmas) {
+  const LintReport report = RunOn({"cases/p1_bad_pragma.cc"});
+  ASSERT_EQ(report.diagnostics.size(), 3u);
+  EXPECT_EQ(report.diagnostics[0].line, 5);
+  EXPECT_EQ(report.diagnostics[0].rule, "P1");
+  EXPECT_EQ(report.diagnostics[0].message,
+            "malformed hivesim-lint pragma: missing 'reason=' (every "
+            "suppression must say why); grammar is 'hivesim-lint: "
+            "allow(<rule>) reason=<why>'");
+  // The malformed pragma suppresses nothing: the D1 underneath fires.
+  EXPECT_EQ(report.diagnostics[1].line, 6);
+  EXPECT_EQ(report.diagnostics[1].rule, "D1");
+  EXPECT_EQ(report.diagnostics[2].line, 7);
+  EXPECT_EQ(report.diagnostics[2].rule, "P1");
+  EXPECT_EQ(report.diagnostics[2].message,
+            "unused suppression for rule 'D2': no matching diagnostic on "
+            "this or the next line; delete the stale pragma");
+}
+
+// ---- Clean pass -----------------------------------------------------
+
+TEST(LintRules, CleanFixturePasses) {
+  const LintReport report = RunOn({"cases/clean.cc"});
+  EXPECT_TRUE(report.diagnostics.empty()) << FormatReport(report);
+  EXPECT_EQ(report.files_scanned, 1);
+  EXPECT_EQ(ExitCode(report), 0);
+}
+
+TEST(LintRules, AllSeededViolationFixturesFail) {
+  for (const char* fixture :
+       {"cases/d1_entropy.cc", "cases/d2_wallclock.cc",
+        "cases/d3_unordered_emit.cc", "cases/d4_pointer.cc",
+        "cases/p1_bad_pragma.cc"}) {
+    const LintReport report = RunOn({fixture});
+    EXPECT_EQ(ExitCode(report), 1) << fixture << " should fail lint";
+  }
+}
+
+// ---- L1: layering ---------------------------------------------------
+
+TEST(LintLayering, FlagsUndeclaredIncludeAndLinkEdges) {
+  const LintReport report = RunOn({}, /*check_layering=*/true,
+                                  FixtureConfig());
+  // gamma -> beta via CMake and via include; delta -> beta include is
+  // unsuppressed here because delta.cc is not lexed (its pragma only
+  // applies when the file itself is scanned).
+  ASSERT_EQ(report.diagnostics.size(), 3u);
+  EXPECT_EQ(report.diagnostics[0].file, "src/delta/delta.cc");
+  EXPECT_EQ(report.diagnostics[0].line, 4);
+  EXPECT_EQ(report.diagnostics[0].message,
+            "include edge delta -> beta violates the declared module DAG "
+            "(delta may depend on: nothing)");
+  EXPECT_EQ(report.diagnostics[1].file, "src/gamma/CMakeLists.txt");
+  EXPECT_EQ(report.diagnostics[1].line, 2);
+  EXPECT_EQ(report.diagnostics[1].message,
+            "link edge gamma -> beta violates the declared module DAG "
+            "(gamma may depend on: alpha)");
+  EXPECT_EQ(report.diagnostics[2].file, "src/gamma/gamma.cc");
+  EXPECT_EQ(report.diagnostics[2].line, 4);
+  EXPECT_EQ(report.diagnostics[2].message,
+            "include edge gamma -> beta violates the declared module DAG "
+            "(gamma may depend on: alpha)");
+}
+
+TEST(LintLayering, AnnotatedIncludeSuppressedWhenFileIsScanned) {
+  const LintReport report = RunOn({"src/delta/delta.cc"},
+                                  /*check_layering=*/true, FixtureConfig());
+  for (const Diagnostic& diag : report.diagnostics) {
+    EXPECT_NE(diag.file, "src/delta/delta.cc") << FormatReport(report);
+  }
+}
+
+TEST(LintLayering, DetectsDeclaredCycle) {
+  LintConfig config = FixtureConfig();
+  config.module_dag["alpha"] = {"beta"};  // alpha <-> beta.
+  const LintReport report = RunOn({}, /*check_layering=*/true, config);
+  bool found_cycle = false;
+  for (const Diagnostic& diag : report.diagnostics) {
+    if (diag.file == "module DAG") {
+      found_cycle = true;
+      EXPECT_EQ(diag.message,
+                "declared module DAG has a cycle: alpha -> beta -> alpha");
+    }
+  }
+  EXPECT_TRUE(found_cycle) << FormatReport(report);
+}
+
+TEST(LintLayering, UndeclaredModuleIsReported) {
+  LintConfig config = FixtureConfig();
+  config.module_dag.erase("delta");
+  const LintReport report = RunOn({}, /*check_layering=*/true, config);
+  bool found = false;
+  for (const Diagnostic& diag : report.diagnostics) {
+    if (diag.file == "src/delta" && diag.rule == "L1") {
+      found = true;
+      EXPECT_EQ(diag.message,
+                "module 'delta' is not in the declared DAG; add it to the "
+                "layering config (tools/lint/lint.h) with its dependencies");
+    }
+  }
+  EXPECT_TRUE(found) << FormatReport(report);
+}
+
+/// The real repository's layering must stay clean under the shipped
+/// DAG — this is the same check `hivesim lint` runs in CI, minus the
+/// token rules (those need compile_commands.json, which other build
+/// presets may not have produced yet).
+TEST(LintLayering, RealRepoLayeringIsClean) {
+  LintOptions options;
+  options.repo_root = kRepoRoot;
+  options.check_layering = true;
+  auto report = RunLint(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->diagnostics.empty()) << FormatReport(*report);
+}
+
+// ---- Report rendering -----------------------------------------------
+
+TEST(LintReporting, FormatsFileLineRuleMessage) {
+  const LintReport report = RunOn({"cases/d1_suppressed.cc",
+                                   "cases/d1_entropy.cc"});
+  const std::string rendered = FormatReport(report);
+  EXPECT_NE(rendered.find(
+                "cases/d1_entropy.cc:6: error: [D1] nondeterministic "
+                "entropy source 'random_device'; draw from the seeded "
+                "hivesim::Rng (common/rng.h)\n"),
+            std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("2 files scanned, 3 diagnostics\n"),
+            std::string::npos)
+      << rendered;
+}
+
+}  // namespace
+}  // namespace hivesim::lint

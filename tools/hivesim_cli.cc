@@ -20,6 +20,12 @@
 //     --model M --min-sps S --sizes "2,4,8"
 //   profile                    iperf/ping between two sites.
 //     --from gc-us --to gc-eu --streams N
+//   lint                       Determinism & layering static analysis
+//                              over src/, tools/, bench/ (rules D1-D4,
+//                              L1, P1; docs/STATIC_ANALYSIS.md).
+//     --compile-commands PATH  compile_commands.json (default
+//                              build/compile_commands.json).
+//     --root DIR               Repository root (default ".").
 //   sweep                      Run a whole figure grid concurrently.
 //     --series A,B             Cluster axis from named series, and/or
 //     --fleets "lambda:2;gc-us:4"   custom fleets (';'-separated specs).
@@ -63,6 +69,7 @@
 #include "core/report.h"
 #include "core/sweep.h"
 #include "core/sweep_runner.h"
+#include "lint/lint.h"
 #include "net/profiler.h"
 #include "net/profiles.h"
 #include "sim/simulator.h"
@@ -454,8 +461,27 @@ int CmdSweep(const FlagSet& flags) {
   return summary->failures == 0 ? 0 : 1;
 }
 
+int CmdLint(const FlagSet& flags) {
+  if (Status s = flags.CheckKnown({"compile-commands", "root"}); !s.ok()) {
+    return Fail(s);
+  }
+  lint::LintOptions options;
+  options.repo_root = flags.GetString("root", ".");
+  options.compile_commands_path =
+      flags.GetString("compile-commands", "build/compile_commands.json");
+  auto report = lint::RunLint(options);
+  if (!report.ok()) return Fail(report.status());
+  std::cout << lint::FormatReport(*report);
+  if (!report->diagnostics.empty()) {
+    std::cout << "suppress a deliberate exception with "
+                 "'// hivesim-lint: allow(<rule>) reason=<why>' on the "
+                 "offending line or the line above it\n";
+  }
+  return lint::ExitCode(*report);
+}
+
 int Usage() {
-  std::cout << "usage: hivesim <list|run|fleet|advise|profile|sweep> "
+  std::cout << "usage: hivesim <list|run|fleet|advise|profile|sweep|lint> "
                "[--flags]\n"
                "See the header of tools/hivesim_cli.cc for details.\n";
   return 2;
@@ -474,5 +500,6 @@ int main(int argc, char** argv) {
   if (command == "advise") return CmdAdvise(flags);
   if (command == "profile") return CmdProfile(flags);
   if (command == "sweep") return CmdSweep(flags);
+  if (command == "lint") return CmdLint(flags);
   return Usage();
 }

@@ -1,0 +1,246 @@
+#include "lint/layering.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace hivesim::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// DFS cycle detection over the declared DAG; reports one diagnostic
+/// per back edge, naming the cycle path.
+void CheckAcyclic(const LintConfig& config, std::vector<Diagnostic>* out) {
+  enum class Mark { kWhite, kGrey, kBlack };
+  std::map<std::string, Mark> marks;
+  for (const auto& [mod, deps] : config.module_dag) marks[mod] = Mark::kWhite;
+
+  // Iterative DFS with an explicit path so the cycle can be printed.
+  struct Frame {
+    std::string mod;
+    std::vector<std::string> deps;
+    size_t next = 0;
+  };
+  for (const auto& [root, unused] : config.module_dag) {
+    if (marks[root] != Mark::kWhite) continue;
+    std::vector<Frame> stack;
+    auto push = [&](const std::string& mod) {
+      marks[mod] = Mark::kGrey;
+      Frame frame;
+      frame.mod = mod;
+      auto it = config.module_dag.find(mod);
+      if (it != config.module_dag.end()) {
+        frame.deps.assign(it->second.begin(), it->second.end());
+      }
+      stack.push_back(std::move(frame));
+    };
+    push(root);
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.next >= top.deps.size()) {
+        marks[top.mod] = Mark::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const std::string dep = top.deps[top.next++];
+      if (config.module_dag.count(dep) == 0) continue;  // Checked later.
+      if (marks[dep] == Mark::kGrey) {
+        std::string cycle = dep;
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+          cycle = it->mod + " -> " + cycle;
+          if (it->mod == dep) break;
+        }
+        out->push_back({"module DAG", 0, "L1",
+                        StrCat("declared module DAG has a cycle: ", cycle)});
+        marks[dep] = Mark::kBlack;  // Report each cycle once.
+        continue;
+      }
+      if (marks[dep] == Mark::kWhite) push(dep);
+    }
+  }
+}
+
+/// Transitive closure of the declared direct deps.
+std::map<std::string, std::set<std::string>> Closure(
+    const LintConfig& config) {
+  std::map<std::string, std::set<std::string>> closure;
+  // Iterate to fixpoint; the graph is tiny.
+  for (const auto& [mod, deps] : config.module_dag) closure[mod] = deps;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [mod, deps] : closure) {
+      std::set<std::string> grown = deps;
+      for (const std::string& dep : deps) {
+        auto it = closure.find(dep);
+        if (it == closure.end()) continue;
+        grown.insert(it->second.begin(), it->second.end());
+      }
+      if (grown.size() != deps.size()) {
+        deps = std::move(grown);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+std::string FormatAllowed(const std::set<std::string>& allowed) {
+  if (allowed.empty()) return "nothing";
+  std::string joined;
+  for (const std::string& dep : allowed) {
+    if (!joined.empty()) joined += ", ";
+    joined += dep;
+  }
+  return joined;
+}
+
+/// Parses `target_link_libraries(<prefix><mod> ...)` calls out of one
+/// CMakeLists.txt, returning (line, dep-module) pairs for arguments
+/// that carry the library prefix.
+std::vector<std::pair<int, std::string>> ParseLinkEdges(
+    const std::string& cmake_text, const std::string& module,
+    const std::string& lib_prefix) {
+  std::vector<std::pair<int, std::string>> edges;
+  const std::string call = "target_link_libraries";
+  const std::string self = lib_prefix + module;
+  size_t pos = 0;
+  while ((pos = cmake_text.find(call, pos)) != std::string::npos) {
+    const int line =
+        1 + static_cast<int>(
+                std::count(cmake_text.begin(), cmake_text.begin() + pos, '\n'));
+    size_t open = cmake_text.find('(', pos + call.size());
+    if (open == std::string::npos) break;
+    size_t close = cmake_text.find(')', open);
+    if (close == std::string::npos) break;
+    std::istringstream args(cmake_text.substr(open + 1, close - open - 1));
+    std::string arg;
+    bool ours = false;
+    bool first = true;
+    while (args >> arg) {
+      if (first) {
+        ours = arg == self;
+        first = false;
+        continue;
+      }
+      if (!ours) continue;
+      if (arg.compare(0, lib_prefix.size(), lib_prefix) == 0) {
+        edges.emplace_back(line, arg.substr(lib_prefix.size()));
+      }
+    }
+    pos = close;
+  }
+  return edges;
+}
+
+/// Extracts `#include "module/..."` edges with line numbers from one
+/// source file, restricted to known module names.
+std::vector<std::pair<int, std::string>> ParseIncludeEdges(
+    const std::string& text, const LintConfig& config) {
+  std::vector<std::pair<int, std::string>> edges;
+  std::istringstream in(text);
+  std::string line_text;
+  int line = 0;
+  while (std::getline(in, line_text)) {
+    ++line;
+    size_t hash = line_text.find_first_not_of(" \t");
+    if (hash == std::string::npos || line_text[hash] != '#') continue;
+    size_t inc = line_text.find("include", hash + 1);
+    if (inc == std::string::npos) continue;
+    size_t q1 = line_text.find('"', inc);
+    if (q1 == std::string::npos) continue;
+    size_t slash = line_text.find('/', q1 + 1);
+    size_t q2 = line_text.find('"', q1 + 1);
+    if (slash == std::string::npos || q2 == std::string::npos || slash > q2) {
+      continue;
+    }
+    const std::string target = line_text.substr(q1 + 1, slash - q1 - 1);
+    if (config.module_dag.count(target) > 0) edges.emplace_back(line, target);
+  }
+  return edges;
+}
+
+std::string ReadFileOrEmpty(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::vector<Diagnostic> CheckLayering(const std::string& src_root,
+                                      const LintConfig& config) {
+  std::vector<Diagnostic> out;
+  CheckAcyclic(config, &out);
+  const auto closure = Closure(config);
+
+  std::error_code ec;
+  std::vector<std::string> modules;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(src_root, ec)) {
+    if (entry.is_directory()) modules.push_back(entry.path().filename().string());
+  }
+  std::sort(modules.begin(), modules.end());
+
+  for (const std::string& module : modules) {
+    const fs::path dir = fs::path(src_root) / module;
+    const std::string rel_dir = StrCat("src/", module);
+    auto allowed_it = closure.find(module);
+    if (allowed_it == closure.end()) {
+      out.push_back({rel_dir, 0, "L1",
+                     StrCat("module '", module,
+                            "' is not in the declared DAG; add it to the "
+                            "layering config (tools/lint/lint.h) with its "
+                            "dependencies")});
+      continue;
+    }
+    const std::set<std::string>& allowed = allowed_it->second;
+
+    // CMake link edges.
+    const std::string cmake_text = ReadFileOrEmpty(dir / "CMakeLists.txt");
+    for (const auto& [line, dep] :
+         ParseLinkEdges(cmake_text, module, config.lib_prefix)) {
+      if (allowed.count(dep) == 0) {
+        out.push_back(
+            {StrCat(rel_dir, "/CMakeLists.txt"), line, "L1",
+             StrCat("link edge ", module, " -> ", dep,
+                    " violates the declared module DAG (", module,
+                    " may depend on: ", FormatAllowed(allowed), ")")});
+      }
+    }
+
+    // Include edges from every source file in the module.
+    std::vector<fs::path> files;
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+      const std::string ext = entry.path().extension();
+      if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& file : files) {
+      const std::string text = ReadFileOrEmpty(file);
+      for (const auto& [line, dep] : ParseIncludeEdges(text, config)) {
+        if (dep != module && allowed.count(dep) == 0) {
+          out.push_back(
+              {StrCat(rel_dir, "/", file.filename().string()), line, "L1",
+               StrCat("include edge ", module, " -> ", dep,
+                      " violates the declared module DAG (", module,
+                      " may depend on: ", FormatAllowed(allowed), ")")});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hivesim::lint

@@ -1,0 +1,28 @@
+#ifndef HIVESIM_TOOLS_LINT_LAYERING_H_
+#define HIVESIM_TOOLS_LINT_LAYERING_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace hivesim::lint {
+
+/// L1: validates the module layering under `src_root` against the
+/// declared DAG in `config.module_dag`:
+///   1. the declared DAG itself must be acyclic,
+///   2. every `target_link_libraries(<prefix><mod> ...)` edge in each
+///      module's CMakeLists.txt must stay inside the transitive
+///      closure of the declared direct deps,
+///   3. every `#include "other_module/..."` edge in the module's
+///      sources must stay inside the same closure.
+/// Include-edge diagnostics anchor to the include line and honor allow
+/// pragmas (applied by the driver); CMake diagnostics anchor to the
+/// `target_link_libraries` line and are not suppressible — fixing the
+/// DAG declaration is the only way out, on purpose.
+std::vector<Diagnostic> CheckLayering(const std::string& src_root,
+                                      const LintConfig& config);
+
+}  // namespace hivesim::lint
+
+#endif  // HIVESIM_TOOLS_LINT_LAYERING_H_

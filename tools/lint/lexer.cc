@@ -1,0 +1,219 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace hivesim::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// Parses pragma text out of a comment body. The grammar is strict on
+/// purpose: `hivesim-lint: allow(<rule>) reason=<non-empty text>`.
+/// Anything that starts with the `hivesim-lint:` marker but does not
+/// match is reported malformed rather than ignored.
+void ParsePragmas(const std::string& comment, int line,
+                  std::vector<Pragma>* out) {
+  // The marker must open the comment (modulo whitespace and extra
+  // doc-comment slashes). A mid-sentence mention of the pragma grammar
+  // in prose is not a pragma.
+  const std::string marker = "hivesim-lint:";
+  size_t at = comment.find_first_not_of(" \t/");
+  if (at == std::string::npos ||
+      comment.compare(at, marker.size(), marker) != 0) {
+    return;
+  }
+
+  Pragma pragma;
+  pragma.line = line;
+  std::string rest = Trim(comment.substr(at + marker.size()));
+  const std::string allow = "allow(";
+  if (rest.compare(0, allow.size(), allow) != 0) {
+    pragma.malformed = true;
+    pragma.error = "expected 'allow(<rule>)' after 'hivesim-lint:'";
+    out->push_back(pragma);
+    return;
+  }
+  size_t close = rest.find(')', allow.size());
+  if (close == std::string::npos) {
+    pragma.malformed = true;
+    pragma.error = "unterminated 'allow('";
+    out->push_back(pragma);
+    return;
+  }
+  pragma.rule = Trim(rest.substr(allow.size(), close - allow.size()));
+  if (pragma.rule.empty()) {
+    pragma.malformed = true;
+    pragma.error = "empty rule name in 'allow()'";
+    out->push_back(pragma);
+    return;
+  }
+  rest = Trim(rest.substr(close + 1));
+  const std::string reason = "reason=";
+  if (rest.compare(0, reason.size(), reason) != 0) {
+    pragma.malformed = true;
+    pragma.error = "missing 'reason=' (every suppression must say why)";
+    out->push_back(pragma);
+    return;
+  }
+  pragma.reason = Trim(rest.substr(reason.size()));
+  if (pragma.reason.empty()) {
+    pragma.malformed = true;
+    pragma.error = "empty reason (every suppression must say why)";
+  }
+  out->push_back(pragma);
+}
+
+}  // namespace
+
+LexedFile Lex(const std::string& content) {
+  LexedFile out;
+  const size_t n = content.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // Only whitespace so far on this line.
+
+  auto peek = [&](size_t ahead) -> char {
+    return i + ahead < n ? content[i + ahead] : '\0';
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+
+    // Line comment: scan for pragmas, then drop.
+    if (c == '/' && peek(1) == '/') {
+      size_t end = content.find('\n', i);
+      if (end == std::string::npos) end = n;
+      ParsePragmas(content.substr(i + 2, end - i - 2), line, &out.pragmas);
+      i = end;
+      continue;
+    }
+    // Block comment: may span lines; pragmas anchor to the start line.
+    if (c == '/' && peek(1) == '*') {
+      size_t end = content.find("*/", i + 2);
+      const size_t stop = end == std::string::npos ? n : end;
+      ParsePragmas(content.substr(i + 2, stop - i - 2), line, &out.pragmas);
+      for (size_t j = i; j < stop; ++j) {
+        if (content[j] == '\n') ++line;
+      }
+      i = end == std::string::npos ? n : end + 2;
+      continue;
+    }
+
+    // Preprocessor directive at line start: record quoted includes.
+    // The directive body is tokenized normally afterwards so banned
+    // tokens inside macro definitions are still visible to rules.
+    if (c == '#' && at_line_start) {
+      size_t j = i + 1;
+      while (j < n && (content[j] == ' ' || content[j] == '\t')) ++j;
+      if (content.compare(j, 7, "include") == 0) {
+        size_t q = content.find_first_of("\"<\n", j + 7);
+        if (q != std::string::npos && content[q] == '"') {
+          size_t endq = content.find('"', q + 1);
+          if (endq != std::string::npos) {
+            out.quoted_includes.push_back(
+                content.substr(q + 1, endq - q - 1));
+          }
+        }
+      }
+      at_line_start = false;
+      ++i;
+      continue;
+    }
+    at_line_start = false;
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      size_t d = i + 2;
+      while (d < n && content[d] != '(') ++d;
+      const std::string delim = content.substr(i + 2, d - i - 2);
+      const std::string closer = ")" + delim + "\"";
+      size_t end = content.find(closer, d + 1);
+      const size_t stop = end == std::string::npos ? n : end;
+      Token tok{TokKind::kString, content.substr(d + 1, stop - d - 1), line};
+      for (size_t j = i; j < stop; ++j) {
+        if (content[j] == '\n') ++line;
+      }
+      out.tokens.push_back(std::move(tok));
+      i = end == std::string::npos ? n : end + closer.size();
+      continue;
+    }
+
+    // String / char literal with escapes.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::string text;
+      size_t j = i + 1;
+      while (j < n && content[j] != quote) {
+        if (content[j] == '\\' && j + 1 < n) {
+          text += content[j];
+          text += content[j + 1];
+          j += 2;
+          continue;
+        }
+        if (content[j] == '\n') ++line;  // Unterminated; keep line count.
+        text += content[j];
+        ++j;
+      }
+      out.tokens.push_back(
+          {quote == '"' ? TokKind::kString : TokKind::kCharLit, text, line});
+      i = j + 1;
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(content[j])) ++j;
+      out.tokens.push_back(
+          {TokKind::kIdentifier, content.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(content[j]) || content[j] == '.')) ++j;
+      out.tokens.push_back({TokKind::kNumber, content.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    // Fused operators the rules distinguish from single chars.
+    if ((c == ':' && peek(1) == ':') || (c == '-' && peek(1) == '>') ||
+        (c == '<' && peek(1) == '<') || (c == '>' && peek(1) == '>')) {
+      out.tokens.push_back(
+          {TokKind::kPunct, content.substr(i, 2), line});
+      i += 2;
+      continue;
+    }
+
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace hivesim::lint

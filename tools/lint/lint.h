@@ -1,0 +1,157 @@
+#ifndef HIVESIM_TOOLS_LINT_LINT_H_
+#define HIVESIM_TOOLS_LINT_LINT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lint/lexer.h"
+
+namespace hivesim::lint {
+
+/// One finding. `file` is repo-relative (or the path given for extra
+/// files), `rule` is the short rule id ("D1".."D4", "L1", "P1") and
+/// `message` is the full human text. Diagnostics compare by
+/// (file, line, rule, message) so reports are deterministically ordered.
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& other) const {
+    if (file != other.file) return file < other.file;
+    if (line != other.line) return line < other.line;
+    if (rule != other.rule) return rule < other.rule;
+    return message < other.message;
+  }
+  bool operator==(const Diagnostic& other) const {
+    return file == other.file && line == other.line && rule == other.rule &&
+           message == other.message;
+  }
+};
+
+/// Tuning knobs; the defaults encode hivesim's invariants. Tests swap
+/// in fixture trees and synthetic DAGs through the same structure.
+struct LintConfig {
+  /// Rule -> repo-relative path suffixes exempt from that rule. The
+  /// only baked-in exemption is the seeded RNG itself: D1 bans entropy
+  /// *outside* common/rng.h by definition.
+  std::map<std::string, std::vector<std::string>> allowlist = {
+      {"D1", {"common/rng.h"}},
+  };
+
+  /// Headers whose inclusion (transitively) marks a file as able to
+  /// reach JSON/CSV/trace emission — the D3 call-graph approximation.
+  std::vector<std::string> emitter_headers = {
+      "common/json.h",
+      "common/table_writer.h",
+      "telemetry/telemetry.h",
+  };
+
+  /// Identifiers that mark a file as actually *touching* an emission
+  /// API. D3 fires only in files that both include an emitter header
+  /// and mention one of these, keeping the approximation honest.
+  std::set<std::string> emitter_symbols = {
+      "JsonWriter",   "TableWriter",     "TraceRecorder", "MetricsRegistry",
+      "CounterHandle", "ToJson",         "ToCsv",         "ToChromeJson",
+      "WriteJson",    "WriteCsv",        "WriteChromeJson", "Counter",
+      "Gauge",        "Histogram",       "AppendCsv",
+  };
+
+  /// The declared module DAG: module -> direct dependencies. Both the
+  /// CMake link edges and the include edges must stay inside the
+  /// transitive closure of this map, and the map itself must be acyclic.
+  /// Layer order (see docs/STATIC_ANALYSIS.md):
+  ///   common -> telemetry -> sim/compute -> net/models ->
+  ///   cloud/data/dht/collective/baselines -> hivemind -> faults -> core
+  std::map<std::string, std::set<std::string>> module_dag = {
+      {"common", {}},
+      {"telemetry", {"common"}},
+      {"sim", {"common", "telemetry"}},
+      {"compute", {"common"}},
+      {"net", {"common", "sim", "telemetry"}},
+      {"models", {"common", "compute"}},
+      {"cloud", {"common", "compute", "net", "sim", "telemetry"}},
+      {"data", {"common", "models"}},
+      {"dht", {"common", "net", "sim", "telemetry"}},
+      {"collective", {"common", "net", "models", "telemetry"}},
+      {"baselines", {"common", "models", "sim"}},
+      {"hivemind",
+       {"common", "net", "models", "collective", "data", "dht", "telemetry"}},
+      {"faults",
+       {"common", "sim", "net", "cloud", "dht", "hivemind", "telemetry"}},
+      {"core",
+       {"common", "net", "cloud", "models", "hivemind", "baselines", "faults",
+        "telemetry"}},
+  };
+
+  /// CMake library prefix mapping module dirs to targets.
+  std::string lib_prefix = "hivesim_";
+};
+
+struct LintOptions {
+  /// Repository root (absolute or relative to the CWD).
+  std::string repo_root = ".";
+  /// compile_commands.json produced by CMake; empty to skip TU
+  /// discovery (tests lint `extra_files` directly instead).
+  std::string compile_commands_path;
+  /// Extra files to lint verbatim (paths relative to repo_root or
+  /// absolute). Used by tests to lint fixtures.
+  std::vector<std::string> extra_files;
+  /// Run the L1 layering check over <repo_root>/src.
+  bool check_layering = true;
+  LintConfig config;
+};
+
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;  ///< Sorted, deduplicated.
+  int files_scanned = 0;
+};
+
+/// Process exit code for a report: 0 clean, 1 diagnostics present.
+inline int ExitCode(const LintReport& report) {
+  return report.diagnostics.empty() ? 0 : 1;
+}
+
+/// Runs the full analysis. Returns a Status error only for
+/// environmental failures (unreadable compile_commands.json, missing
+/// root); rule findings land in the report.
+Result<LintReport> RunLint(const LintOptions& options);
+
+/// Renders `file:line: error: [RULE] message` lines plus a trailing
+/// summary, exactly as `hivesim lint` prints them.
+std::string FormatReport(const LintReport& report);
+
+// ---- Internals shared with tests -------------------------------------
+
+/// Per-file facts computed by the driver before rules run.
+struct FileFacts {
+  std::string path;  ///< As reported in diagnostics.
+  LexedFile lex;
+  bool reaches_emission = false;
+  /// Identifiers declared as unordered containers anywhere in this
+  /// file's include closure (member decls live in headers).
+  std::set<std::string> unordered_names;
+};
+
+/// Runs the token rules (D1, D2, D3, D4) over one file. Suppression
+/// and P1 pragma hygiene are applied by the caller via ApplyPragmas.
+std::vector<Diagnostic> CheckTokens(const FileFacts& facts,
+                                    const LintConfig& config);
+
+/// Collects identifiers declared as std::unordered_map/set in a file.
+std::set<std::string> CollectUnorderedDecls(const LexedFile& lex);
+
+/// Filters `raw` through the file's pragmas: a pragma on line L with a
+/// matching rule suppresses diagnostics on L or L+1. Malformed and
+/// unused pragmas are appended as P1 diagnostics.
+std::vector<Diagnostic> ApplyPragmas(const std::string& path,
+                                     const LexedFile& lex,
+                                     std::vector<Diagnostic> raw);
+
+}  // namespace hivesim::lint
+
+#endif  // HIVESIM_TOOLS_LINT_LINT_H_

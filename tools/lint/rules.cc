@@ -1,0 +1,317 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "lint/lint.h"
+
+namespace hivesim::lint {
+
+namespace {
+
+/// D1: entropy sources that break seeded replay. `rand`-family and
+/// kernel entropy syscalls are matched as identifier tokens, so the
+/// same words inside strings and comments never fire.
+const std::set<std::string>& BannedEntropy() {
+  static const auto& banned = *new std::set<std::string>{
+      "random_device", "rand",    "srand",   "rand_r",    "random_r",
+      "drand48",       "lrand48", "mrand48", "erand48",   "getrandom",
+      "getentropy",
+  };
+  return banned;
+}
+
+/// D2: wall-clock reads. Simulation logic must use sim::Simulator time;
+/// host-side timing goes through hivesim::HostClock (common/host_clock.h).
+const std::set<std::string>& BannedClocks() {
+  static const auto& banned = *new std::set<std::string>{
+      "steady_clock",  "system_clock", "high_resolution_clock",
+      "gettimeofday",  "clock_gettime", "timespec_get",
+  };
+  return banned;
+}
+
+/// C functions that are only nondeterministic when *called*; matched as
+/// identifier-followed-by-'(' so variables named `time` stay legal.
+const std::set<std::string>& BannedClockCalls() {
+  static const auto& banned = *new std::set<std::string>{"time", "clock"};
+  return banned;
+}
+
+bool SuffixMatch(const std::string& path, const std::string& suffix) {
+  if (path.size() < suffix.size()) return false;
+  return path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+         0;
+}
+
+bool Allowlisted(const LintConfig& config, const std::string& rule,
+                 const std::string& path) {
+  auto it = config.allowlist.find(rule);
+  if (it == config.allowlist.end()) return false;
+  for (const std::string& suffix : it->second) {
+    if (SuffixMatch(path, suffix)) return true;
+  }
+  return false;
+}
+
+/// Template-bracket depth delta for one token ('<' opens, '>' closes,
+/// fused '>>' closes two as in `map<int, vector<int>>`).
+int AngleDelta(const Token& tok) {
+  if (tok.kind != TokKind::kPunct) return 0;
+  if (tok.text == "<") return 1;
+  if (tok.text == ">") return -1;
+  if (tok.text == ">>") return -2;
+  return 0;
+}
+
+void CheckEntropyAndClocks(const FileFacts& facts, const LintConfig& config,
+                           std::vector<Diagnostic>* out) {
+  const auto& tokens = facts.lex.tokens;
+  const bool d1_allowed = Allowlisted(config, "D1", facts.path);
+  const bool d2_allowed = Allowlisted(config, "D2", facts.path);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (tok.kind != TokKind::kIdentifier) continue;
+    if (!d1_allowed && BannedEntropy().count(tok.text) > 0) {
+      out->push_back(
+          {facts.path, tok.line, "D1",
+           StrCat("nondeterministic entropy source '", tok.text,
+                  "'; draw from the seeded hivesim::Rng (common/rng.h)")});
+      continue;
+    }
+    if (d2_allowed) continue;
+    const bool is_clock_type = BannedClocks().count(tok.text) > 0;
+    const bool is_clock_call =
+        BannedClockCalls().count(tok.text) > 0 && i + 1 < tokens.size() &&
+        tokens[i + 1].kind == TokKind::kPunct && tokens[i + 1].text == "(" &&
+        // `foo.time(...)` / `foo->time(...)` are member calls, not libc.
+        (i == 0 || tokens[i - 1].kind != TokKind::kPunct ||
+         (tokens[i - 1].text != "." && tokens[i - 1].text != "->"));
+    if (is_clock_type || is_clock_call) {
+      out->push_back(
+          {facts.path, tok.line, "D2",
+           StrCat("wall-clock read '", tok.text,
+                  "'; simulation logic uses sim::Simulator::Now(), host "
+                  "timing goes through hivesim::HostClock "
+                  "(common/host_clock.h)")});
+    }
+  }
+}
+
+/// D3: range-for over an unordered container in a file that can reach
+/// report/trace emission. Only a *bare* iterated expression fires
+/// (`for (x : map_)`, `for (x : this->map_)`, `for (x : *map)`): a
+/// wrapped expression like `for (k : SortedKeys(map_))` is exactly the
+/// sanctioned fix and must not be flagged.
+void CheckUnorderedIteration(const FileFacts& facts, const LintConfig& config,
+                             std::vector<Diagnostic>* out) {
+  if (!facts.reaches_emission) return;
+  if (facts.unordered_names.empty()) return;
+  if (Allowlisted(config, "D3", facts.path)) return;
+  const auto& tokens = facts.lex.tokens;
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kIdentifier || tokens[i].text != "for") {
+      continue;
+    }
+    if (tokens[i + 1].kind != TokKind::kPunct || tokens[i + 1].text != "(") {
+      continue;
+    }
+    // Scan the for-header; a ';' at depth 1 means a classic for loop.
+    int depth = 0;
+    size_t colon = 0;
+    size_t close = 0;
+    bool classic = false;
+    for (size_t j = i + 1; j < tokens.size(); ++j) {
+      const Token& t = tokens[j];
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      if (t.text == ")" || t.text == "]" || t.text == "}") {
+        --depth;
+        if (depth == 0) {
+          close = j;
+          break;
+        }
+      }
+      if (depth == 1 && t.text == ";") classic = true;
+      if (depth == 1 && t.text == ":" && colon == 0) colon = j;
+    }
+    if (classic || colon == 0 || close == 0) continue;
+
+    // The iterated expression: tokens (colon, close).
+    std::string iterated;
+    int idents = 0;
+    bool bare = true;
+    for (size_t j = colon + 1; j < close; ++j) {
+      const Token& t = tokens[j];
+      if (t.kind == TokKind::kIdentifier) {
+        if (t.text == "this") continue;
+        ++idents;
+        iterated = t.text;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct &&
+          (t.text == "*" || t.text == "." || t.text == "->" ||
+           t.text == "(" || t.text == ")")) {
+        continue;
+      }
+      bare = false;
+      break;
+    }
+    if (!bare || idents != 1) continue;
+    if (facts.unordered_names.count(iterated) == 0) continue;
+    out->push_back(
+        {facts.path, tokens[colon].line, "D3",
+         StrCat("range-for over unordered container '", iterated,
+                "' in an emission-reachable file; emit in sorted key "
+                "order instead")});
+  }
+}
+
+/// D4: formatting or hashing raw pointer values. Pointer identity
+/// changes across runs (ASLR, allocator state), so it may never feed
+/// reports, traces, hashes, or ordering.
+void CheckPointerIdentity(const FileFacts& facts, const LintConfig& config,
+                          std::vector<Diagnostic>* out) {
+  if (Allowlisted(config, "D4", facts.path)) return;
+  const auto& tokens = facts.lex.tokens;
+  // Built without a literal so the linter can lint its own sources.
+  const std::string percent_p = std::string("%") + "p";
+  const std::set<std::string> int_names = {
+      "uintptr_t", "intptr_t", "size_t", "uint64_t", "int64_t",
+      "uint32_t",  "int32_t",  "long",   "unsigned", "int"};
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (tok.kind == TokKind::kString &&
+        tok.text.find(percent_p) != std::string::npos) {
+      out->push_back({facts.path, tok.line, "D4",
+                      StrCat("format string contains '", percent_p,
+                             "'; pointer values are nondeterministic "
+                             "across runs")});
+      continue;
+    }
+    if (tok.kind != TokKind::kIdentifier) continue;
+    const bool is_hash = tok.text == "hash";
+    const bool is_reinterpret = tok.text == "reinterpret_cast";
+    const bool is_static_cast = tok.text == "static_cast";
+    if (!is_hash && !is_reinterpret && !is_static_cast) continue;
+    if (i + 1 >= tokens.size() || tokens[i + 1].kind != TokKind::kPunct ||
+        tokens[i + 1].text != "<") {
+      continue;
+    }
+    // Scan the template argument list.
+    int depth = 0;
+    bool has_star = false;
+    bool has_void = false;
+    bool has_int = false;
+    for (size_t j = i + 1; j < tokens.size(); ++j) {
+      depth += AngleDelta(tokens[j]);
+      if (depth <= 0) break;
+      if (tokens[j].kind == TokKind::kPunct && tokens[j].text == "*") {
+        has_star = true;
+      }
+      if (tokens[j].kind == TokKind::kIdentifier) {
+        if (tokens[j].text == "void") has_void = true;
+        if (int_names.count(tokens[j].text) > 0) has_int = true;
+      }
+    }
+    if (is_hash && has_star) {
+      out->push_back({facts.path, tok.line, "D4",
+                      "std::hash over a pointer type; pointer identity is "
+                      "nondeterministic across runs"});
+    } else if (is_reinterpret && has_int) {
+      out->push_back({facts.path, tok.line, "D4",
+                      "reinterpret_cast of a pointer to an integer; pointer "
+                      "values must not be hashed, ordered, or printed"});
+    } else if (is_static_cast && has_void && has_star) {
+      out->push_back({facts.path, tok.line, "D4",
+                      "cast to void* (pointer formatting); pointer values "
+                      "are nondeterministic across runs"});
+    }
+  }
+}
+
+}  // namespace
+
+std::set<std::string> CollectUnorderedDecls(const LexedFile& lex) {
+  std::set<std::string> names;
+  const auto& tokens = lex.tokens;
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kIdentifier) continue;
+    if (tokens[i].text != "unordered_map" && tokens[i].text != "unordered_set") {
+      continue;
+    }
+    if (tokens[i + 1].kind != TokKind::kPunct || tokens[i + 1].text != "<") {
+      continue;
+    }
+    // Find the end of the template argument list, then take the
+    // declared identifier right after it (skipping &, *, and const).
+    int depth = 0;
+    size_t j = i + 1;
+    for (; j < tokens.size(); ++j) {
+      depth += AngleDelta(tokens[j]);
+      if (depth <= 0) break;
+    }
+    for (size_t k = j + 1; k < tokens.size(); ++k) {
+      const Token& t = tokens[k];
+      if (t.kind == TokKind::kPunct && (t.text == "&" || t.text == "*")) {
+        continue;
+      }
+      if (t.kind == TokKind::kIdentifier && t.text == "const") continue;
+      if (t.kind == TokKind::kIdentifier) names.insert(t.text);
+      break;
+    }
+  }
+  return names;
+}
+
+std::vector<Diagnostic> CheckTokens(const FileFacts& facts,
+                                    const LintConfig& config) {
+  std::vector<Diagnostic> out;
+  CheckEntropyAndClocks(facts, config, &out);
+  CheckUnorderedIteration(facts, config, &out);
+  CheckPointerIdentity(facts, config, &out);
+  return out;
+}
+
+std::vector<Diagnostic> ApplyPragmas(const std::string& path,
+                                     const LexedFile& lex,
+                                     std::vector<Diagnostic> raw) {
+  std::vector<Diagnostic> out;
+  std::map<size_t, bool> used;  // pragma index -> suppressed something
+  for (size_t p = 0; p < lex.pragmas.size(); ++p) {
+    const Pragma& pragma = lex.pragmas[p];
+    if (pragma.malformed) {
+      out.push_back({path, pragma.line, "P1",
+                     StrCat("malformed hivesim-lint pragma: ", pragma.error,
+                            "; grammar is 'hivesim-lint: allow(<rule>) "
+                            "reason=<why>'")});
+      continue;
+    }
+    used[p] = false;
+  }
+  for (Diagnostic& diag : raw) {
+    bool suppressed = false;
+    for (size_t p = 0; p < lex.pragmas.size(); ++p) {
+      const Pragma& pragma = lex.pragmas[p];
+      if (pragma.malformed || pragma.rule != diag.rule) continue;
+      if (pragma.line == diag.line || pragma.line + 1 == diag.line) {
+        used[p] = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) out.push_back(std::move(diag));
+  }
+  for (const auto& [p, was_used] : used) {
+    if (was_used) continue;
+    const Pragma& pragma = lex.pragmas[p];
+    out.push_back({path, pragma.line, "P1",
+                   StrCat("unused suppression for rule '", pragma.rule,
+                          "': no matching diagnostic on this or the next "
+                          "line; delete the stale pragma")});
+  }
+  return out;
+}
+
+}  // namespace hivesim::lint
