@@ -73,8 +73,14 @@ BENCHMARK(BM_TbsSweep)->Arg(8192)->Arg(16384)->Arg(32768)
 
 int main(int argc, char** argv) {
   hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
+  hivesim::bench::PerfJsonScope perf(&argc, argv, "fig3");
   PrintFigure3();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  // The figure's CONV column doubles as the determinism self-check: the
+  // experiment pipeline end-to-end must reproduce these throughputs.
+  perf.AddCheck("sps_conv_tbs8192", RunTwoGpu(ModelId::kConvNextLarge, 8192));
+  perf.AddCheck("sps_conv_tbs16384",
+                RunTwoGpu(ModelId::kConvNextLarge, 16384));
+  perf.AddCheck("sps_conv_tbs32768",
+                RunTwoGpu(ModelId::kConvNextLarge, 32768));
+  return perf.RunAndReport(&argc, argv);
 }

@@ -150,7 +150,7 @@ BENCHMARK(BM_ArrivalOnBusyFleet)->Arg(64)->Arg(512)
 
 // Same-seed runs must be bit-reproducible; ci.sh treats a mismatch here
 // as a perf-smoke failure.
-void CheckChurnDeterminism() {
+ChurnResult CheckChurnDeterminism() {
   const ChurnResult a = RunChurn(128, 512, 17);
   const ChurnResult b = RunChurn(128, 512, 17);
   if (a.total_bytes != b.total_bytes || a.completions != b.completions ||
@@ -168,14 +168,18 @@ void CheckChurnDeterminism() {
   std::printf("CHURN_DETERMINISM OK (%llu completions, %llu events)\n",
               (unsigned long long)a.completions,
               (unsigned long long)a.events_fired);
+  return a;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
-  CheckChurnDeterminism();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  hivesim::bench::PerfJsonScope perf(&argc, argv, "kernel_net");
+  const ChurnResult churn = CheckChurnDeterminism();
+  perf.AddCheck("churn_total_bytes", churn.total_bytes);
+  perf.AddCheck("churn_completions", static_cast<double>(churn.completions));
+  perf.AddCheck("churn_events_fired",
+                static_cast<double>(churn.events_fired));
+  return perf.RunAndReport(&argc, argv);
 }

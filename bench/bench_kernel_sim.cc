@@ -116,7 +116,7 @@ StormResult RunStorm(uint64_t seed) {
   return {sim.events_fired(), sim.Now()};
 }
 
-void CheckSimDeterminism() {
+StormResult CheckSimDeterminism() {
   const StormResult a = RunStorm(29);
   const StormResult b = RunStorm(29);
   if (a.fired != b.fired || a.clock != b.clock) {
@@ -129,14 +129,16 @@ void CheckSimDeterminism() {
   }
   std::printf("SIM_DETERMINISM OK (%llu fired, clock %.6f)\n",
               (unsigned long long)a.fired, a.clock);
+  return a;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
-  CheckSimDeterminism();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  hivesim::bench::PerfJsonScope perf(&argc, argv, "kernel_sim");
+  const StormResult storm = CheckSimDeterminism();
+  perf.AddCheck("storm_fired", static_cast<double>(storm.fired));
+  perf.AddCheck("storm_clock_sec", storm.clock);
+  return perf.RunAndReport(&argc, argv);
 }

@@ -145,7 +145,7 @@ const char* BucketEvent(int bucket) {
   }
 }
 
-void PrintChaos() {
+ChaosRun PrintChaos() {
   bench::PrintHeading(
       "Section 7: scripted chaos day (4xT4 US + 4xT4 EU, CV, 24h)");
   const ChaosRun calm = RunDay(7, /*with_chaos=*/false);
@@ -184,6 +184,7 @@ void PrintChaos() {
   std::cout << "Throughput collapses inside each fault window and recovers "
                "after it; the partition hour survives by averaging within "
                "the reachable half of the fleet.\n";
+  return chaos;
 }
 
 void BM_ChaosDay(benchmark::State& state) {
@@ -199,8 +200,15 @@ BENCHMARK(BM_ChaosDay)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   hivesim::bench::TelemetryScope telemetry_scope(&argc, argv);
-  PrintChaos();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  hivesim::bench::PerfJsonScope perf(&argc, argv, "chaos");
+  const ChaosRun chaos = PrintChaos();
+  // The 64-bit trace fingerprint is split into 32-bit halves: check
+  // values live in JSON doubles, which are only exact up to 2^53.
+  perf.AddCheck("chaos_fingerprint_hi",
+                static_cast<double>(chaos.fingerprint >> 32));
+  perf.AddCheck("chaos_fingerprint_lo",
+                static_cast<double>(chaos.fingerprint & 0xffffffffu));
+  perf.AddCheck("chaos_epochs", static_cast<double>(chaos.epochs));
+  perf.AddCheck("chaos_total_samples", chaos.total_samples);
+  return perf.RunAndReport(&argc, argv);
 }

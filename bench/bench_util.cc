@@ -1,12 +1,16 @@
 #include "bench_util.h"
 
+#include <benchmark/benchmark.h>
+
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 
+#include "common/json.h"
 #include "common/strings.h"
 #include "telemetry/telemetry.h"
 
@@ -104,6 +108,96 @@ TelemetryScope::~TelemetryScope() {
       !telemetry::Telemetry::metrics().WriteJson(metrics_out_)) {
     std::cerr << "cannot write metrics to " << metrics_out_ << "\n";
   }
+}
+
+namespace {
+
+/// Console output plus a per-bench minimum of ns/iteration. The minimum
+/// (not the mean) across repetitions is the standard choice for gating:
+/// it is the least noisy estimator of the true cost on a shared machine.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      if (run.iterations <= 0) continue;
+      const double ns = run.real_accumulated_time /
+                        static_cast<double>(run.iterations) * 1e9;
+      const std::string name = run.benchmark_name();
+      auto [it, inserted] = ns_per_iter_.emplace(name, ns);
+      if (!inserted && ns < it->second) it->second = ns;
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::map<std::string, double>& ns_per_iter() const {
+    return ns_per_iter_;
+  }
+
+ private:
+  std::map<std::string, double> ns_per_iter_;
+};
+
+}  // namespace
+
+PerfJsonScope::PerfJsonScope(int* argc, char** argv, std::string area)
+    : area_(std::move(area)) {
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, "--bench-json=")) {
+      json_out_ = arg.substr(std::string("--bench-json=").size());
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  if (kept < *argc) {
+    *argc = kept;
+    argv[kept] = nullptr;  // argv stays null-terminated for Initialize.
+  }
+}
+
+void PerfJsonScope::AddCheck(const std::string& key, double value) {
+  checks_[key] = value;
+}
+
+int PerfJsonScope::RunAndReport(int* argc, char** argv) {
+  benchmark::Initialize(argc, argv);
+  if (json_out_.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+  }
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("area").String(area_);
+  json.Key("benches").BeginObject();
+  for (const auto& [name, ns] : reporter.ns_per_iter()) {
+    json.Key(name).BeginObject().Key("ns_per_iter").Number(ns).EndObject();
+  }
+  json.EndObject();
+  json.Key("checks").BeginObject();
+  for (const auto& [key, value] : checks_) {
+    json.Key(key).Number(value);
+  }
+  json.EndObject();
+  json.Key("schema").String("hivesim-bench/1");
+  json.EndObject();
+
+  std::ofstream out(json_out_, std::ios::binary | std::ios::trunc);
+  out << json.ToString() << "\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "cannot write bench json to " << json_out_ << "\n";
+    return 1;
+  }
+  std::printf("BENCH_JSON written: %s (%zu benches, %zu checks)\n",
+              json_out_.c_str(), reporter.ns_per_iter().size(),
+              checks_.size());
+  return 0;
 }
 
 }  // namespace hivesim::bench

@@ -1,6 +1,7 @@
 #ifndef HIVESIM_BENCH_BENCH_UTIL_H_
 #define HIVESIM_BENCH_BENCH_UTIL_H_
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -65,6 +66,45 @@ class TelemetryScope {
  private:
   std::string trace_out_;
   std::string metrics_out_;
+};
+
+/// Machine-readable perf reporting for the trajectory gate: construct
+/// with &argc/argv *before* benchmark::Initialize (it strips
+/// `--bench-json=PATH`, which google-benchmark would reject), register
+/// deterministic self-check values with `AddCheck`, then let
+/// `RunAndReport` drive Initialize + RunSpecifiedBenchmarks.
+///
+/// When `--bench-json` was given, the run is captured through a
+/// collecting reporter (console output is preserved) and written as
+///
+///   {"area":"<area>",
+///    "benches":{"BM_Name/arg":{"ns_per_iter":<min across repetitions>}},
+///    "checks":{"<key>":<value>},
+///    "schema":"hivesim-bench/1"}
+///
+/// `hivesim perfgate` compares these artifacts against the committed
+/// baselines in bench/baselines/. Timings are compared with a relative
+/// threshold; checks must match exactly — they are the bench's
+/// determinism self-test values, so a drift there is a correctness
+/// regression, not noise. Without the flag everything behaves as before.
+class PerfJsonScope {
+ public:
+  /// `area` names the artifact ("kernel_sim" -> BENCH_kernel_sim.json).
+  PerfJsonScope(int* argc, char** argv, std::string area);
+
+  /// Records one deterministic value verified exactly by the perf gate.
+  void AddCheck(const std::string& key, double value);
+
+  bool json_requested() const { return !json_out_.empty(); }
+
+  /// benchmark::Initialize + RunSpecifiedBenchmarks (+ JSON artifact
+  /// when requested). Returns the process exit code.
+  int RunAndReport(int* argc, char** argv);
+
+ private:
+  std::string area_;
+  std::string json_out_;
+  std::map<std::string, double> checks_;
 };
 
 }  // namespace hivesim::bench

@@ -13,11 +13,15 @@
 #      aggregator) and telemetry_test (thread-local sink routing),
 #   5. a smoke run of the telemetry pipeline (trace_tour -> trace JSON ->
 #      scripts/trace_summary.py) so the observability path stays healthy,
-#   6. a perf smoke: the two simulation-kernel microbenchmarks run
-#      briefly from the optimized build. Each binary self-checks
-#      determinism first (two identically seeded churn runs must match
-#      exactly) and exits non-zero on divergence or crash, so solver and
-#      event-pool regressions fail CI here.
+#   6. the perf gate: the four gated bench binaries run with
+#      --bench-json (each self-checks determinism first and exits
+#      non-zero on divergence), then `hivesim perfgate` compares the
+#      fresh BENCH_<area>.json artifacts against the committed baselines
+#      in bench/baselines/ and fails loudly — with a before/after table —
+#      on any regression past the per-bench threshold or any drift in a
+#      deterministic check value. docs/PERFORMANCE.md describes the
+#      workflow; HIVESIM_UPDATE_PERF_BASELINE=1 re-records the baselines
+#      instead of comparing (the perf analogue of --update-golden).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,10 +64,27 @@ trap 'rm -rf "$tmpdir"' EXIT
   --metrics-out="$tmpdir/tour.metrics.json" > /dev/null
 python3 scripts/trace_summary.py "$tmpdir/tour.trace.json" --top 5
 
-echo "=== perf smoke: kernel benches (determinism + crash check) ==="
+echo "=== perf gate: benches --bench-json vs bench/baselines ==="
 cmake --build --preset default -j "$(nproc)" \
-  --target bench_kernel_net bench_kernel_sim
-./build/bench/bench_kernel_net --benchmark_min_time=0.1s > /dev/null
-./build/bench/bench_kernel_sim --benchmark_min_time=0.1s > /dev/null
+  --target bench_kernel_net bench_kernel_sim bench_sec7_chaos \
+  bench_fig3_tbs_throughput hivesim
+perfdir="$tmpdir/perf"
+mkdir -p "$perfdir"
+./build/bench/bench_kernel_net --benchmark_min_time=0.1s \
+  --bench-json="$perfdir/BENCH_kernel_net.json" > /dev/null
+./build/bench/bench_kernel_sim --benchmark_min_time=0.1s \
+  --bench-json="$perfdir/BENCH_kernel_sim.json" > /dev/null
+./build/bench/bench_sec7_chaos --benchmark_min_time=0.1s \
+  --bench-json="$perfdir/BENCH_chaos.json" > /dev/null
+./build/bench/bench_fig3_tbs_throughput --benchmark_min_time=0.1s \
+  --bench-json="$perfdir/BENCH_fig3.json" > /dev/null
+if [[ "${HIVESIM_UPDATE_PERF_BASELINE:-0}" == "1" ]]; then
+  ./build/tools/hivesim perfgate --current-dir="$perfdir" \
+    --baseline-dir=bench/baselines --update
+  echo "perf baselines re-recorded; review and commit bench/baselines/"
+else
+  ./build/tools/hivesim perfgate --current-dir="$perfdir" \
+    --baseline-dir=bench/baselines
+fi
 
 echo "=== ci.sh: all green ==="

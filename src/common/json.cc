@@ -1,6 +1,7 @@
 #include "common/json.h"
 
 #include <cmath>
+#include <cstdlib>
 
 #include "common/strings.h"
 
@@ -95,11 +96,29 @@ JsonWriter& JsonWriter::String(const std::string& value) {
 
 JsonWriter& JsonWriter::Number(double value) {
   MaybeComma();
-  if (std::isfinite(value)) {
-    out_ += StrFormat("%.10g", value);
-  } else {
+  if (!std::isfinite(value)) {
     out_ += "null";  // JSON has no Inf/NaN.
+    return *this;
   }
+  // Integral values in the exactly-representable range print as plain
+  // integers: counters routinely exceed 10 significant digits (WAN byte
+  // totals pass 1e10 within a simulated day), where a fixed %g precision
+  // would silently round.
+  constexpr double kMaxExactInt = 9007199254740992.0;  // 2^53.
+  if (value == std::floor(value) && std::fabs(value) <= kMaxExactInt) {
+    out_ += StrFormat("%.0f", value);
+    return *this;
+  }
+  // Otherwise the shortest decimal that parses back to exactly this
+  // double (17 significant digits always suffice for IEEE binary64).
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::string text = StrFormat("%.*g", precision, value);
+    if (std::strtod(text.c_str(), nullptr) == value) {
+      out_ += text;
+      return *this;
+    }
+  }
+  out_ += StrFormat("%.17g", value);  // Unreachable; %.17g round-trips.
   return *this;
 }
 

@@ -8,7 +8,7 @@ namespace hivesim {
 
 /// Minimal streaming JSON document builder (write-only) for exporting
 /// experiment results to tooling. Produces compact, correctly escaped
-/// JSON; no parsing (the library never consumes JSON).
+/// JSON; parsing lives separately in common/json_parse.h.
 ///
 ///   JsonWriter json;
 ///   json.BeginObject();
@@ -25,6 +25,10 @@ class JsonWriter {
   /// Emits an object key; must be followed by exactly one value.
   JsonWriter& Key(const std::string& name);
   JsonWriter& String(const std::string& value);
+  /// Emits a number that round-trips: integral values up to 2^53 in
+  /// magnitude as plain integers (no exponent), everything else as the
+  /// shortest decimal that parses back to exactly the same double.
+  /// Non-finite values become null (JSON has no Inf/NaN).
   JsonWriter& Number(double value);
   JsonWriter& Int(int64_t value);
   JsonWriter& Bool(bool value);

@@ -1,0 +1,64 @@
+#ifndef HIVESIM_COMMON_JSON_PARSE_H_
+#define HIVESIM_COMMON_JSON_PARSE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hivesim {
+
+/// A parsed JSON document node. The library historically only *wrote*
+/// JSON (`JsonWriter`); the perf-trajectory harness is the first
+/// consumer — `hivesim perfgate` reads the normalized BENCH_<area>.json
+/// files back to compare them against committed baselines.
+///
+/// Objects are stored as `std::map`, so iteration is key-sorted and
+/// deterministic (duplicate keys keep the last occurrence, per the
+/// common JSON-parser convention). Numbers are doubles — exactly the
+/// precision `JsonWriter::Number` emits.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when this is not an object or the
+  /// key is absent.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience accessors with fallbacks (never assert).
+  double NumberOr(double fallback) const {
+    return is_number() ? number_value : fallback;
+  }
+  const std::string& StringOr(const std::string& fallback) const {
+    return is_string() ? string_value : fallback;
+  }
+};
+
+/// Parses one JSON document. The whole input must be consumed (trailing
+/// whitespace allowed); errors carry a character offset and a short
+/// description. Nesting deeper than 64 levels is rejected.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Reads and parses `path`; IOError when unreadable, InvalidArgument
+/// when malformed.
+Result<JsonValue> ParseJsonFile(const std::string& path);
+
+}  // namespace hivesim
+
+#endif  // HIVESIM_COMMON_JSON_PARSE_H_

@@ -1,11 +1,47 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace hivesim::sim {
+
+// Both sifts move a hole instead of swapping: one copy per level plus a
+// final store, versus three per level for std::swap.
+void Simulator::EventHeap::push(const QueueEntry& entry) {
+  size_t hole = entries_.size();
+  entries_.push_back(entry);
+  while (hole > 0) {
+    const size_t parent = (hole - 1) / kArity;
+    if (!Earlier(entry, entries_[parent])) break;
+    entries_[hole] = entries_[parent];
+    hole = parent;
+  }
+  entries_[hole] = entry;
+}
+
+void Simulator::EventHeap::pop() {
+  const QueueEntry displaced = entries_.back();
+  entries_.pop_back();
+  if (entries_.empty()) return;
+  const size_t size = entries_.size();
+  size_t hole = 0;
+  while (true) {
+    const size_t first_child = hole * kArity + 1;
+    if (first_child >= size) break;
+    size_t best = first_child;
+    const size_t end = std::min(first_child + kArity, size);
+    for (size_t child = first_child + 1; child < end; ++child) {
+      if (Earlier(entries_[child], entries_[best])) best = child;
+    }
+    if (!Earlier(entries_[best], displaced)) break;
+    entries_[hole] = entries_[best];
+    hole = best;
+  }
+  entries_[hole] = displaced;
+}
 
 Simulator::Simulator() {
   PushSimTimeSource(

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/status.h"
@@ -101,11 +100,30 @@ class Simulator {
     uint32_t slot;
     uint32_t generation;
   };
-  struct Later {
-    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+
+  /// Min-heap on (when, seq) with 4 children per node instead of the
+  /// binary layout std::priority_queue uses. A 4-ary heap halves the
+  /// tree height, and all four children sit in one-and-a-half cache
+  /// lines (QueueEntry is 24 bytes), so the sift-down that dominates
+  /// cancel/reschedule storms touches fewer lines per level. The
+  /// comparison key is a strict total order (seq breaks every `when`
+  /// tie), so any conforming heap pops the exact same sequence —
+  /// replacing the container cannot change replay order or goldens.
+  class EventHeap {
+   public:
+    bool empty() const { return entries_.size() == 0; }
+    const QueueEntry& top() const { return entries_.front(); }
+    void push(const QueueEntry& entry);
+    void pop();
+
+   private:
+    static constexpr size_t kArity = 4;
+    static bool Earlier(const QueueEntry& a, const QueueEntry& b) {
+      if (a.when != b.when) return a.when < b.when;
+      return a.seq < b.seq;
     }
+
+    std::vector<QueueEntry> entries_;
   };
 
   /// Takes a pool slot, stores `cb`, and returns the packed id.
@@ -123,7 +141,7 @@ class Simulator {
   size_t live_events_ = 0;
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
+  EventHeap queue_;
 
   telemetry::CounterHandle scheduled_counter_{"sim.events_scheduled"};
   telemetry::CounterHandle cancelled_counter_{"sim.events_cancelled"};

@@ -1,10 +1,12 @@
 #include "telemetry/telemetry.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <fstream>
 
 #include "common/json.h"
+#include "common/logging.h"
 #include "common/strings.h"
 
 namespace hivesim::telemetry {
@@ -152,9 +154,23 @@ double* MetricsRegistry::CounterSlot(std::string_view name) {
 void MetricsRegistry::Count(std::string_view name, double delta) {
   const auto it = counters_.find(name);
   if (it != counters_.end()) {
+    const double before = it->second;
     it->second += delta;
+    if (it->second == before && delta != 0) NoteCounterPrecisionLoss();
   } else {
     counters_.emplace(std::string(name), delta);
+  }
+}
+
+void MetricsRegistry::NoteCounterPrecisionLoss() {
+  // Bumped directly (not via Count) so a saturated loss counter can
+  // never recurse; '#' keeps the name out of the regular metric
+  // namespace, mirroring the <name>#merge_conflicts idiom.
+  const auto it = counters_.find(kPrecisionLossCounter);
+  if (it != counters_.end()) {
+    it->second += 1.0;
+  } else {
+    counters_.emplace(std::string(kPrecisionLossCounter), 1.0);
   }
 }
 
@@ -170,6 +186,21 @@ void MetricsRegistry::SetGauge(std::string_view name, double value) {
 void MetricsRegistry::DefineHistogram(std::string_view name,
                                       std::vector<double> bounds) {
   if (histograms_.find(name) != histograms_.end()) return;
+  // The header contract requires ascending unique bounds; anything else
+  // would misbin every observation ("first bound >= value" only means
+  // the right bucket when bounds are sorted) and breaks the binary
+  // search below. Fix the definition loudly instead of recording
+  // garbage.
+  if (!std::is_sorted(bounds.begin(), bounds.end()) ||
+      std::adjacent_find(bounds.begin(), bounds.end()) != bounds.end()) {
+    const size_t given = bounds.size();
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    HIVESIM_LOG(Warning)
+        << "histogram '" << std::string(name)
+        << "' declared with unsorted or duplicate bounds; sorted to "
+        << bounds.size() << " unique bounds (" << given << " given)";
+  }
   Histogram h;
   h.bounds = std::move(bounds);
   h.counts.assign(h.bounds.size() + 1, 0);
@@ -183,12 +214,14 @@ void MetricsRegistry::Observe(std::string_view name, double value) {
     it = histograms_.find(name);
   }
   Histogram& h = it->second;
-  size_t bucket = h.bounds.size();  // Overflow unless a bound covers it.
-  for (size_t i = 0; i < h.bounds.size(); ++i) {
-    if (value <= h.bounds[i]) {
-      bucket = i;
-      break;
-    }
+  // First bound >= value, located by binary search (bounds are sorted by
+  // construction); everything past the last bound — including NaN, which
+  // compares false against every bound — lands in the overflow bucket.
+  size_t bucket = h.bounds.size();
+  if (!std::isnan(value)) {
+    bucket = static_cast<size_t>(
+        std::lower_bound(h.bounds.begin(), h.bounds.end(), value) -
+        h.bounds.begin());
   }
   ++h.counts[bucket];
   h.sum += value;

@@ -74,13 +74,27 @@ class MetricsRegistry {
  public:
   MetricsRegistry();
 
-  /// Adds `delta` to a (monotonic) counter, creating it at zero.
+  /// Name of the counter bumped whenever an increment is absorbed by
+  /// floating-point rounding (a counter near 2^53 stops moving for small
+  /// deltas). A nonzero value means some counter in this registry is
+  /// saturated and its total is a lower bound, not an exact count.
+  static constexpr std::string_view kPrecisionLossCounter =
+      "#counter_precision_loss";
+
+  /// Adds `delta` to a (monotonic) counter, creating it at zero. An add
+  /// that does not change the stored value (see `kPrecisionLossCounter`)
+  /// is recorded as precision loss instead of vanishing silently.
   void Count(std::string_view name, double delta = 1.0);
+  /// Bumps `kPrecisionLossCounter` (shared with `CounterHandle::Add`).
+  void NoteCounterPrecisionLoss();
   /// Sets a gauge to its latest value.
   void SetGauge(std::string_view name, double value);
 
-  /// Declares a histogram with explicit upper bucket bounds (ascending);
-  /// an implicit +inf overflow bucket is appended. No-op if it exists.
+  /// Declares a histogram with explicit upper bucket bounds (ascending,
+  /// unique); an implicit +inf overflow bucket is appended. Unsorted or
+  /// duplicate bounds are sorted/deduplicated with a warning — `Observe`
+  /// bins by "first bound >= value", which is only meaningful on sorted
+  /// bounds. No-op if the histogram already exists.
   void DefineHistogram(std::string_view name, std::vector<double> bounds);
   /// Records one observation; auto-defines the histogram with default
   /// bounds {1,2,5,10,20,50,100,200,500,1000} on first use.
@@ -252,14 +266,18 @@ class CounterHandle {
  public:
   explicit CounterHandle(std::string name) : name_(std::move(name)) {}
 
-  /// Adds `delta` to the counter; no-op while telemetry is off.
+  /// Adds `delta` to the counter; no-op while telemetry is off. An add
+  /// absorbed by floating-point rounding bumps
+  /// `MetricsRegistry::kPrecisionLossCounter`, same as `Count()`.
   void Add(double delta = 1.0) {
     if (Telemetry::Disabled()) return;
     MetricsRegistry& registry = Telemetry::metrics();
     if (&registry != registry_ || registry.epoch() != epoch_) {
       Rebind(registry);
     }
-    *slot_ += delta;
+    const double before = *slot_;
+    *slot_ = before + delta;
+    if (*slot_ == before && delta != 0) registry.NoteCounterPrecisionLoss();
   }
 
   const std::string& name() const { return name_; }

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "common/flags.h"
 #include "common/json.h"
 
@@ -135,6 +137,47 @@ TEST(JsonTest, NonFiniteNumbersBecomeNull) {
   json.Number(1.0);
   json.EndArray();
   EXPECT_EQ(json.ToString(), "[null,null,1]");
+}
+
+// Serializing and re-parsing any finite double must give back the exact
+// same bits — the old %.10g silently rounded WAN byte counters past
+// ~1e10 bytes in --metrics-out and merged sweep metrics.
+TEST(JsonTest, NumbersRoundTripExactly) {
+  const double cases[] = {
+      0.0,
+      -0.0,
+      1.0,
+      261.9,
+      1.0 / 3.0,
+      1e10 + 1,              // 11 significant digits: rounded by %.10g.
+      98765432109876.0,      // A WAN byte counter past 1e13.
+      9007199254740991.0,    // 2^53 - 1, largest odd exact integer.
+      9007199254740992.0,    // 2^53.
+      0.1 + 0.2,             // 0.30000000000000004: needs 17 digits.
+      1.7976931348623157e308,
+      5e-324,                // Smallest subnormal.
+  };
+  for (const double value : cases) {
+    JsonWriter json;
+    json.Number(value);
+    const double parsed = std::strtod(json.ToString().c_str(), nullptr);
+    EXPECT_EQ(parsed, value) << "serialized as " << json.ToString();
+  }
+}
+
+// Integral values inside the exact range print as plain integers —
+// no exponent, no rounding — so counters stay grep-able and exact.
+TEST(JsonTest, IntegralNumbersPrintWithoutExponent) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Number(10000000001.0);        // 1e10 + 1: %.10g printed 1e+10.
+  json.Number(98765432109876.0);
+  json.Number(9007199254740991.0);
+  json.Number(-12345678901234.0);
+  json.EndArray();
+  EXPECT_EQ(json.ToString(),
+            "[10000000001,98765432109876,9007199254740991,"
+            "-12345678901234]");
 }
 
 }  // namespace

@@ -294,6 +294,72 @@ TEST_F(TelemetryTest, MergeSumsCountersMaxesGaugesAndAddsBuckets) {
   EXPECT_EQ(c.ToJson(), a.ToJson());
 }
 
+TEST_F(TelemetryTest, UnsortedHistogramBoundsAreSortedAndDeduplicated) {
+  MetricsRegistry metrics;
+  // Declaration-order binning would put a value of 3 into the "10"
+  // bucket (first bound >= 3 in the declared order); the contract says
+  // bounds are ascending, so it belongs in "5".
+  metrics.DefineHistogram("h", {10, 1, 5, 5, 2});
+  metrics.Observe("h", 3);
+  metrics.Observe("h", 0.5);
+  metrics.Observe("h", 100);  // Overflow.
+  EXPECT_EQ(metrics.HistogramCount("h"), 3u);
+
+  const std::string json = metrics.ToJson();
+  // Bounds come out sorted and unique: 1, 2, 5, 10, inf.
+  const size_t le1 = json.find("\"le\":1");
+  const size_t le2 = json.find("\"le\":2");
+  const size_t le5 = json.find("\"le\":5");
+  const size_t le10 = json.find("\"le\":10");
+  ASSERT_NE(le1, std::string::npos);
+  ASSERT_NE(le10, std::string::npos);
+  EXPECT_LT(le1, le2);
+  EXPECT_LT(le2, le5);
+  EXPECT_LT(le5, le10);
+  // The duplicate 5 was dropped: exactly one "le":5 bucket.
+  EXPECT_EQ(json.find("\"le\":5", le5 + 1), std::string::npos);
+  // 3 landed in the "5" bucket, 0.5 in "1", 100 in overflow.
+  EXPECT_NE(json.find("{\"le\":1,\"count\":1}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":5,\"count\":1}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":\"inf\",\"count\":1}"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, ValidHistogramBoundsAreKeptVerbatim) {
+  MetricsRegistry metrics;
+  metrics.DefineHistogram("h", {1, 2, 5});
+  metrics.Observe("h", 2);    // Boundary value: first bound >= 2 is 2.
+  metrics.Observe("h", 2.01);
+  const std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("{\"le\":2,\"count\":1}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":5,\"count\":1}"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, CounterSaturationBumpsPrecisionLossCounter) {
+  MetricsRegistry metrics;
+  const double ceiling = 9007199254740992.0;  // 2^53.
+  metrics.Count("big", ceiling);
+  metrics.Count("big", 1.0);  // Absorbed: 2^53 + 1 rounds back to 2^53.
+  EXPECT_DOUBLE_EQ(metrics.CounterValue("big"), ceiling);
+  EXPECT_DOUBLE_EQ(
+      metrics.CounterValue(MetricsRegistry::kPrecisionLossCounter), 1.0);
+  // A delta large enough to move the value is not precision loss.
+  metrics.Count("big", 2.0);
+  EXPECT_DOUBLE_EQ(metrics.CounterValue("big"), ceiling + 2);
+  EXPECT_DOUBLE_EQ(
+      metrics.CounterValue(MetricsRegistry::kPrecisionLossCounter), 1.0);
+}
+
+TEST_F(TelemetryTest, CounterHandleSaturationAlsoDetected) {
+  MetricsRegistry metrics;
+  Telemetry::ScopedSinks sinks(nullptr, &metrics);
+  CounterHandle handle("big");
+  handle.Add(9007199254740992.0);  // 2^53.
+  handle.Add(1.0);                 // Absorbed.
+  EXPECT_DOUBLE_EQ(metrics.CounterValue("big"), 9007199254740992.0);
+  EXPECT_DOUBLE_EQ(
+      metrics.CounterValue(MetricsRegistry::kPrecisionLossCounter), 1.0);
+}
+
 TEST_F(TelemetryTest, MergeWithMismatchedBoundsCountsConflicts) {
   MetricsRegistry a;
   a.DefineHistogram("h", {1, 2});

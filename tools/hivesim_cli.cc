@@ -26,6 +26,15 @@
 //     --compile-commands PATH  compile_commands.json (default
 //                              build/compile_commands.json).
 //     --root DIR               Repository root (default ".").
+//   perfgate                   Compare bench --bench-json artifacts
+//                              against the committed perf baselines
+//                              (docs/PERFORMANCE.md).
+//     --current-dir DIR        Freshly generated BENCH_<area>.json.
+//     --baseline-dir DIR       Baselines (default bench/baselines).
+//     --areas a,b              Areas to gate (default chaos,fig3,
+//                              kernel_net,kernel_sim).
+//     --threshold F            Allowed relative slowdown (default 0.25).
+//     --update                 Rewrite baselines from --current-dir.
 //   sweep                      Run a whole figure grid concurrently.
 //     --series A,B             Cluster axis from named series, and/or
 //     --fleets "lambda:2;gc-us:4"   custom fleets (';'-separated specs).
@@ -71,6 +80,7 @@
 #include "core/sweep_runner.h"
 #include "lint/lint.h"
 #include "net/profiler.h"
+#include "perfgate/perfgate.h"
 #include "net/profiles.h"
 #include "sim/simulator.h"
 #include "telemetry/telemetry.h"
@@ -480,9 +490,43 @@ int CmdLint(const FlagSet& flags) {
   return lint::ExitCode(*report);
 }
 
+int CmdPerfGate(const FlagSet& flags) {
+  if (Status s = flags.CheckKnown(
+          {"baseline-dir", "current-dir", "areas", "threshold", "update"});
+      !s.ok()) {
+    return Fail(s);
+  }
+  perfgate::GateOptions options;
+  options.baseline_dir = flags.GetString("baseline-dir", "bench/baselines");
+  options.current_dir = flags.GetString("current-dir", "");
+  if (options.current_dir.empty()) {
+    return Fail(Status::InvalidArgument(
+        "perfgate needs --current-dir with the fresh BENCH_*.json"));
+  }
+  const std::string areas = flags.GetString("areas", "");
+  if (!areas.empty()) options.areas = StrSplit(areas, ',');
+  auto threshold = flags.GetDouble("threshold", options.default_threshold);
+  if (!threshold.ok()) return Fail(threshold.status());
+  if (!(*threshold > 0)) {
+    return Fail(Status::InvalidArgument("--threshold must be positive"));
+  }
+  options.default_threshold = *threshold;
+  options.update = flags.GetBool("update", false);
+
+  auto report = perfgate::Run(options);
+  if (!report.ok()) return Fail(report.status());
+  if (options.update) {
+    std::cout << "perf baselines updated in " << options.baseline_dir
+              << " (" << report->rows.size() << " benches)\n";
+    return 0;
+  }
+  std::cout << perfgate::FormatReport(*report);
+  return report->failed ? 1 : 0;
+}
+
 int Usage() {
-  std::cout << "usage: hivesim <list|run|fleet|advise|profile|sweep|lint> "
-               "[--flags]\n"
+  std::cout << "usage: hivesim <list|run|fleet|advise|profile|sweep|lint|"
+               "perfgate> [--flags]\n"
                "See the header of tools/hivesim_cli.cc for details.\n";
   return 2;
 }
@@ -501,5 +545,6 @@ int main(int argc, char** argv) {
   if (command == "profile") return CmdProfile(flags);
   if (command == "sweep") return CmdSweep(flags);
   if (command == "lint") return CmdLint(flags);
+  if (command == "perfgate") return CmdPerfGate(flags);
   return Usage();
 }

@@ -1,0 +1,278 @@
+#include "perfgate/perfgate.h"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/json_parse.h"
+#include "common/strings.h"
+#include "common/table_writer.h"
+
+namespace hivesim::perfgate {
+namespace {
+
+/// One BENCH_<area>.json, decoded into sorted maps.
+struct AreaDoc {
+  std::string area;
+  std::map<std::string, double> benches;     ///< name -> ns_per_iter.
+  std::map<std::string, double> checks;      ///< key -> exact value.
+  std::map<std::string, double> thresholds;  ///< Optional, baseline only.
+};
+
+std::string AreaPath(const std::string& dir, const std::string& area) {
+  return StrCat(dir, "/BENCH_", area, ".json");
+}
+
+Result<AreaDoc> LoadArea(const std::string& dir, const std::string& area) {
+  const std::string path = AreaPath(dir, area);
+  Result<JsonValue> parsed = ParseJsonFile(path);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    return Status::InvalidArgument(path + ": top level is not an object");
+  }
+
+  AreaDoc doc;
+  const JsonValue* area_field = root.Find("area");
+  doc.area = area_field ? area_field->StringOr("") : "";
+  if (doc.area != area) {
+    return Status::InvalidArgument(
+        StrCat(path, ": \"area\" is \"", doc.area, "\", expected \"", area,
+               "\""));
+  }
+
+  const JsonValue* benches = root.Find("benches");
+  if (benches == nullptr || !benches->is_object()) {
+    return Status::InvalidArgument(path + ": missing \"benches\" object");
+  }
+  for (const auto& [name, entry] : benches->object) {
+    const JsonValue* ns = entry.Find("ns_per_iter");
+    if (ns == nullptr || !ns->is_number() || !(ns->number_value > 0)) {
+      return Status::InvalidArgument(
+          StrCat(path, ": bench \"", name,
+                 "\" has no positive \"ns_per_iter\""));
+    }
+    doc.benches[name] = ns->number_value;
+  }
+
+  if (const JsonValue* checks = root.Find("checks")) {
+    if (!checks->is_object()) {
+      return Status::InvalidArgument(path + ": \"checks\" is not an object");
+    }
+    for (const auto& [key, value] : checks->object) {
+      if (!value.is_number()) {
+        return Status::InvalidArgument(
+            StrCat(path, ": check \"", key, "\" is not a number"));
+      }
+      doc.checks[key] = value.number_value;
+    }
+  }
+
+  if (const JsonValue* thresholds = root.Find("thresholds")) {
+    if (!thresholds->is_object()) {
+      return Status::InvalidArgument(path +
+                                     ": \"thresholds\" is not an object");
+    }
+    for (const auto& [name, value] : thresholds->object) {
+      if (!value.is_number() || !(value.number_value > 0)) {
+        return Status::InvalidArgument(
+            StrCat(path, ": threshold for \"", name, "\" is not positive"));
+      }
+      doc.thresholds[name] = value.number_value;
+    }
+  }
+  return doc;
+}
+
+Status WriteBaseline(const std::string& dir, const AreaDoc& doc) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("area").String(doc.area);
+  json.Key("benches").BeginObject();
+  for (const auto& [name, ns] : doc.benches) {
+    json.Key(name).BeginObject().Key("ns_per_iter").Number(ns).EndObject();
+  }
+  json.EndObject();
+  json.Key("checks").BeginObject();
+  for (const auto& [key, value] : doc.checks) {
+    json.Key(key).Number(value);
+  }
+  json.EndObject();
+  json.Key("schema").String("hivesim-bench/1");
+  if (!doc.thresholds.empty()) {
+    json.Key("thresholds").BeginObject();
+    for (const auto& [name, value] : doc.thresholds) {
+      json.Key(name).Number(value);
+    }
+    json.EndObject();
+  }
+  json.EndObject();
+
+  const std::string path = AreaPath(dir, doc.area);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << json.ToString() << "\n";
+  out.flush();
+  if (!out) return Status::IOError("cannot write " + path);
+  return Status::OK();
+}
+
+void CompareArea(const AreaDoc& baseline, const AreaDoc& current,
+                 double default_threshold, GateReport& report) {
+  // Benchmarks: relative-threshold comparison. Walk the union of both
+  // sorted maps so every bench lands in exactly one row.
+  auto b = baseline.benches.begin();
+  auto c = current.benches.begin();
+  while (b != baseline.benches.end() || c != current.benches.end()) {
+    GateRow row;
+    row.area = current.area;
+    if (c == current.benches.end() ||
+        (b != baseline.benches.end() && b->first < c->first)) {
+      row.name = b->first;
+      row.baseline = b->second;
+      row.status = RowStatus::kMissing;
+      ++report.missing;
+      ++b;
+    } else if (b == baseline.benches.end() || c->first < b->first) {
+      row.name = c->first;
+      row.current = c->second;
+      row.status = RowStatus::kNew;
+      ++report.new_benches;
+      ++c;
+    } else {
+      row.name = b->first;
+      row.baseline = b->second;
+      row.current = c->second;
+      const auto override_it = baseline.thresholds.find(row.name);
+      row.threshold = override_it != baseline.thresholds.end()
+                          ? override_it->second
+                          : default_threshold;
+      const double relative = row.current / row.baseline - 1.0;
+      if (relative > row.threshold) {
+        row.status = RowStatus::kRegressed;
+        ++report.regressions;
+      } else if (relative < -row.threshold) {
+        row.status = RowStatus::kImproved;
+        ++report.improvements;
+      } else {
+        row.status = RowStatus::kOk;
+      }
+      ++b;
+      ++c;
+    }
+    report.rows.push_back(row);
+  }
+
+  // Checks: exact equality over the union of keys. A key present on one
+  // side only is also a mismatch — checks are the determinism contract,
+  // so losing one silently would hollow out the gate.
+  std::map<std::string, std::pair<const double*, const double*>> merged;
+  for (const auto& [key, value] : baseline.checks) {
+    merged[key].first = &value;
+  }
+  for (const auto& [key, value] : current.checks) {
+    merged[key].second = &value;
+  }
+  for (const auto& [key, sides] : merged) {
+    GateRow row;
+    row.area = current.area;
+    row.name = key;
+    row.baseline = sides.first ? *sides.first : std::nan("");
+    row.current = sides.second ? *sides.second : std::nan("");
+    const bool match = sides.first && sides.second &&
+                       *sides.first == *sides.second;
+    row.status = match ? RowStatus::kCheckOk : RowStatus::kCheckMismatch;
+    if (!match) ++report.check_mismatches;
+    report.rows.push_back(row);
+  }
+}
+
+std::string StatusLabel(RowStatus status) {
+  switch (status) {
+    case RowStatus::kOk: return "ok";
+    case RowStatus::kImproved: return "IMPROVED";
+    case RowStatus::kRegressed: return "REGRESSED";
+    case RowStatus::kNew: return "new (no baseline)";
+    case RowStatus::kMissing: return "MISSING";
+    case RowStatus::kCheckOk: return "check ok";
+    case RowStatus::kCheckMismatch: return "CHECK MISMATCH";
+  }
+  return "?";
+}
+
+bool IsCheckRow(const GateRow& row) {
+  return row.status == RowStatus::kCheckOk ||
+         row.status == RowStatus::kCheckMismatch;
+}
+
+std::string FormatValue(const GateRow& row, double value) {
+  if (std::isnan(value)) return "-";
+  // Timings as ns with thousands precision; checks verbatim.
+  return IsCheckRow(row) ? StrFormat("%.17g", value)
+                         : StrFormat("%.0f", value);
+}
+
+}  // namespace
+
+Result<GateReport> Run(const GateOptions& options) {
+  GateReport report;
+  for (const std::string& area : options.areas) {
+    Result<AreaDoc> current = LoadArea(options.current_dir, area);
+    if (!current.ok()) return current.status();
+
+    if (options.update) {
+      AreaDoc updated = *current;
+      // Keep per-bench threshold overrides across updates; they are
+      // curated by hand, not produced by the bench binaries.
+      Result<AreaDoc> previous = LoadArea(options.baseline_dir, area);
+      if (previous.ok()) updated.thresholds = previous->thresholds;
+      HIVESIM_RETURN_IF_ERROR(WriteBaseline(options.baseline_dir, updated));
+      for (const auto& [name, ns] : updated.benches) {
+        GateRow row;
+        row.area = area;
+        row.name = name;
+        row.current = ns;
+        row.baseline = ns;
+        row.status = RowStatus::kOk;
+        report.rows.push_back(row);
+      }
+      continue;
+    }
+
+    Result<AreaDoc> baseline = LoadArea(options.baseline_dir, area);
+    if (!baseline.ok()) return baseline.status();
+    CompareArea(*baseline, *current, options.default_threshold, report);
+  }
+  report.failed = report.regressions > 0 || report.missing > 0 ||
+                  report.check_mismatches > 0;
+  return report;
+}
+
+std::string FormatReport(const GateReport& report) {
+  std::ostringstream out;
+  TableWriter table(
+      {"Area", "Bench / check", "Baseline", "Current", "Delta", "Limit",
+       "Status"});
+  for (const GateRow& row : report.rows) {
+    std::string delta = "-";
+    std::string limit = "-";
+    if (!IsCheckRow(row) && row.baseline > 0 && row.current > 0) {
+      delta = StrFormat("%+.1f%%", (row.current / row.baseline - 1) * 100);
+      limit = StrFormat("+%.0f%%", row.threshold * 100);
+    }
+    table.AddRow({row.area, row.name, FormatValue(row, row.baseline),
+                  FormatValue(row, row.current), delta, limit,
+                  StatusLabel(row.status)});
+  }
+  table.Print(out);
+  out << StrFormat(
+      "perf-gate: %d regressed, %d improved, %d check mismatches, "
+      "%d missing, %d new -> %s\n",
+      report.regressions, report.improvements, report.check_mismatches,
+      report.missing, report.new_benches,
+      report.failed ? "FAIL" : "PASS");
+  return out.str();
+}
+
+}  // namespace hivesim::perfgate

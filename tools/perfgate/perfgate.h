@@ -1,0 +1,81 @@
+#ifndef HIVESIM_TOOLS_PERFGATE_PERFGATE_H_
+#define HIVESIM_TOOLS_PERFGATE_PERFGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hivesim::perfgate {
+
+/// The perf-trajectory gate: compares freshly generated BENCH_<area>.json
+/// artifacts (written by the bench binaries' `--bench-json=` mode)
+/// against the committed baselines in bench/baselines/, and fails CI when
+/// a benchmark slowed down beyond its allowed relative threshold or a
+/// deterministic self-check value drifted.
+///
+/// File layout, identical in both directories:
+///   BENCH_<area>.json = {"area":"<area>",
+///                        "benches":{"BM_X/4096":{"ns_per_iter":N}},
+///                        "checks":{"storm_fired":13333},
+///                        "schema":"hivesim-bench/1"}
+/// A baseline may additionally carry {"thresholds":{"BM_X/4096":0.60}}
+/// to widen the gate for a known-noisy bench; `Run` with `update=true`
+/// preserves that object when rewriting the baseline.
+
+struct GateOptions {
+  std::string baseline_dir;  ///< Committed baselines (bench/baselines).
+  std::string current_dir;   ///< Freshly generated artifacts.
+  /// Areas to gate; each maps to one BENCH_<area>.json in both dirs.
+  std::vector<std::string> areas = {"chaos", "fig3", "kernel_net",
+                                    "kernel_sim"};
+  /// Allowed relative slowdown (0.25 = current may be up to 25% slower
+  /// than baseline) unless the baseline overrides it per bench.
+  double default_threshold = 0.25;
+  /// Rewrite the baselines from the current artifacts instead of
+  /// comparing (the `--update-golden` analogue for perf numbers).
+  bool update = false;
+};
+
+enum class RowStatus {
+  kOk,             ///< Within threshold.
+  kImproved,       ///< Faster than baseline beyond the threshold.
+  kRegressed,      ///< Slower than baseline beyond the threshold: FAIL.
+  kNew,            ///< In current but not baseline: warn only.
+  kMissing,        ///< In baseline but not current: FAIL (lost coverage).
+  kCheckOk,        ///< Deterministic check matches exactly.
+  kCheckMismatch,  ///< Deterministic check drifted: FAIL.
+};
+
+/// One compared benchmark timing or check value.
+struct GateRow {
+  std::string area;
+  std::string name;  ///< Bench name ("BM_X/4096") or check key.
+  double baseline = 0;
+  double current = 0;
+  double threshold = 0;  ///< Relative limit applied (0 for checks).
+  RowStatus status = RowStatus::kOk;
+};
+
+struct GateReport {
+  std::vector<GateRow> rows;  ///< Area-then-name sorted.
+  bool failed = false;        ///< Any kRegressed/kMissing/kCheckMismatch.
+  int regressions = 0;
+  int improvements = 0;
+  int check_mismatches = 0;
+  int missing = 0;
+  int new_benches = 0;
+};
+
+/// Compares (or, with `options.update`, rewrites) the baselines. Returns
+/// an error Status when an artifact file is missing or malformed — that
+/// is an infrastructure failure, distinct from a perf regression, which
+/// comes back as `GateReport::failed`.
+Result<GateReport> Run(const GateOptions& options);
+
+/// Renders the before/after table plus a one-line verdict.
+std::string FormatReport(const GateReport& report);
+
+}  // namespace hivesim::perfgate
+
+#endif  // HIVESIM_TOOLS_PERFGATE_PERFGATE_H_
