@@ -13,7 +13,10 @@
 #      aggregator) and telemetry_test (thread-local sink routing),
 #   5. a smoke run of the telemetry pipeline (trace_tour -> trace JSON ->
 #      scripts/trace_summary.py) so the observability path stays healthy,
-#   6. the perf gate: the four gated bench binaries run with
+#   6. an analyze smoke: `hivesim analyze` over two identically seeded
+#      trace_tour runs must produce byte-identical analysis.json
+#      (docs/OBSERVABILITY.md's determinism contract),
+#   7. the perf gate: the four gated bench binaries run with
 #      --bench-json (each self-checks determinism first and exits
 #      non-zero on divergence), then `hivesim perfgate` compares the
 #      fresh BENCH_<area>.json artifacts against the committed baselines
@@ -63,6 +66,18 @@ trap 'rm -rf "$tmpdir"' EXIT
   --trace-out="$tmpdir/tour.trace.json" \
   --metrics-out="$tmpdir/tour.metrics.json" > /dev/null
 python3 scripts/trace_summary.py "$tmpdir/tour.trace.json" --top 5
+
+echo "=== analyze smoke: byte-identical analysis across seeded reruns ==="
+./build/tools/hivesim analyze --trace="$tmpdir/tour.trace.json" \
+  --metrics="$tmpdir/tour.metrics.json" \
+  --out="$tmpdir/tour.analysis.1.json" > /dev/null
+./build/examples/trace_tour --seed=7 \
+  --trace-out="$tmpdir/tour2.trace.json" \
+  --metrics-out="$tmpdir/tour2.metrics.json" > /dev/null
+./build/tools/hivesim analyze --trace="$tmpdir/tour2.trace.json" \
+  --metrics="$tmpdir/tour2.metrics.json" \
+  --out="$tmpdir/tour.analysis.2.json" > /dev/null
+cmp "$tmpdir/tour.analysis.1.json" "$tmpdir/tour.analysis.2.json"
 
 echo "=== perf gate: benches --bench-json vs bench/baselines ==="
 cmake --build --preset default -j "$(nproc)" \

@@ -307,9 +307,19 @@ void AllReduce::FinishStage(size_t stage_index) {
     residual = std::max(residual, (stage_start_ + cpu) - now);
   }
   const uint64_t gen = generation_;
+  const double stage_start = stage_start_;
+  const size_t transfers = plan_.stages[stage_index].size();
   network_->simulator().Schedule(std::max(0.0, residual),
-                                 [this, gen, stage_index] {
+                                 [this, gen, stage_index, stage_start,
+                                  transfers] {
                                    if (gen != generation_) return;
+                                   telemetry::Span(
+                                       stage_start,
+                                       network_->simulator().Now(),
+                                       "collective",
+                                       StrFormat("stage %zu", stage_index),
+                                       StrFormat("{\"transfers\":%zu}",
+                                                 transfers));
                                    RunStage(stage_index + 1);
                                  });
 }

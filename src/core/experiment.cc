@@ -7,11 +7,18 @@
 #include "net/network.h"
 #include "net/profiles.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 
 namespace hivesim::core {
 
 Result<std::unique_ptr<ExperimentWorld>> BuildExperimentWorld(
     const ClusterSpec& cluster_spec, const ExperimentConfig& config) {
+  // Trace-segment marker: every world is a fresh simulation restarting
+  // at t=0, and `hivesim run`/`fleet` record several of them into one
+  // recorder. The critical-path analyzer splits the trace at these
+  // instants so events of consecutive runs are never cross-matched by
+  // timestamp coincidence.
+  telemetry::Instant(0.0, "trace", "run-start");
   auto world = std::make_unique<ExperimentWorld>();
   world->topology = net::StandardWorld();
   HIVESIM_ASSIGN_OR_RETURN(

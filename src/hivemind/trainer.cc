@@ -453,6 +453,18 @@ void Trainer::FinishEpoch() {
                         epoch_args);
       }
     }
+    // Span-aligned phase totals: exactly the durations of the calc,
+    // comm, and matchmake-wait spans above (not EpochStats, whose
+    // comm_sec can also fold in a delayed optimizer apply). The
+    // critical-path analyzer reconciles its phase breakdown against
+    // these counters to within 1e-9 sim-seconds.
+    telemetry::Count("trainer.calc_sec",
+                     calc_end > epoch_start_ ? calc_end - epoch_start_ : 0.0);
+    telemetry::Count("trainer.comm_sec", now > calc_end ? now - calc_end : 0.0);
+    if (averaging_started_ > calc_end) {
+      telemetry::Count("trainer.matchmake_wait_sec",
+                       averaging_started_ - calc_end);
+    }
     telemetry::Count("trainer.epochs");
     telemetry::Gauge("trainer.averaging_in_flight", 0);
     telemetry::Gauge("trainer.active_peers", ActivePeers());

@@ -133,7 +133,11 @@ bool Network::CancelFlow(FlowId id) {
       flows_cancelled_counter_.Add();
       telemetry::Instant(
           sim_->Now(), "net",
-          StrFormat("flow-cancel %u->%u", lit->second.src, lit->second.dst));
+          StrFormat("flow-cancel %u->%u", lit->second.src, lit->second.dst),
+          StrFormat(
+              "{\"src_zone\":\"%s\",\"dst_zone\":\"%s\"}",
+              topology_->site(topology_->SiteOf(lit->second.src)).name.c_str(),
+              topology_->site(topology_->SiteOf(lit->second.dst)).name.c_str()));
     }
     latency_flows_.erase(lit);
     return true;
@@ -150,8 +154,12 @@ bool Network::CancelFlow(FlowId id) {
     telemetry::Instant(
         sim_->Now(), "net",
         StrFormat("flow-cancel %u->%u", flow.src, flow.dst),
-        StrFormat("{\"delivered_bytes\":%.0f}",
-                  flow.total_bytes - flow.remaining_bytes));
+        StrFormat(
+            "{\"delivered_bytes\":%.0f,\"src_zone\":\"%s\","
+            "\"dst_zone\":\"%s\"}",
+            flow.total_bytes - flow.remaining_bytes,
+            topology_->site(flow.src_site).name.c_str(),
+            topology_->site(flow.dst_site).name.c_str()));
   }
   RemoveFlowFromResources(it->second);
   ResourceKey seed[3];
@@ -473,9 +481,15 @@ void Network::FinishFlow(FlowId id) {
   if (telemetry::Enabled()) {
     const Flow& flow = it->second;
     flows_completed_counter_.Add();
-    telemetry::Span(flow.started_sec, sim_->Now(), "net",
-                    StrFormat("flow %u->%u", flow.src, flow.dst),
-                    StrFormat("{\"bytes\":%.0f}", flow.total_bytes));
+    // Zone identity rides in the span args so the critical-path analyzer
+    // (telemetry/analysis.h) can attribute flow time to WAN links
+    // without re-deriving the topology.
+    telemetry::Span(
+        flow.started_sec, sim_->Now(), "net",
+        StrFormat("flow %u->%u", flow.src, flow.dst),
+        StrFormat("{\"bytes\":%.0f,\"src_zone\":\"%s\",\"dst_zone\":\"%s\"}",
+                  flow.total_bytes, topology_->site(flow.src_site).name.c_str(),
+                  topology_->site(flow.dst_site).name.c_str()));
   }
   FlowCallback cb = std::move(it->second.on_complete);
   RemoveFlowFromResources(it->second);
@@ -494,9 +508,12 @@ void Network::FinishLatencyFlow(FlowId id) {
   latency_flows_.erase(it);
   if (telemetry::Enabled()) {
     flows_completed_counter_.Add();
-    telemetry::Span(lf.started_sec, sim_->Now(), "net",
-                    StrFormat("flow %u->%u", lf.src, lf.dst),
-                    StrFormat("{\"bytes\":%.0f}", lf.bytes));
+    telemetry::Span(
+        lf.started_sec, sim_->Now(), "net",
+        StrFormat("flow %u->%u", lf.src, lf.dst),
+        StrFormat("{\"bytes\":%.0f,\"src_zone\":\"%s\",\"dst_zone\":\"%s\"}",
+                  lf.bytes, topology_->site(topology_->SiteOf(lf.src)).name.c_str(),
+                  topology_->site(topology_->SiteOf(lf.dst)).name.c_str()));
   }
   if (lf.bytes > 0) MeterBytes(lf.src, lf.dst, lf.bytes);
   if (lf.on_complete) lf.on_complete();

@@ -1,0 +1,141 @@
+#ifndef HIVESIM_TELEMETRY_ROUND_MODEL_H_
+#define HIVESIM_TELEMETRY_ROUND_MODEL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json_parse.h"
+#include "common/result.h"
+#include "telemetry/telemetry.h"
+
+namespace hivesim::telemetry {
+
+/// The analyzer's input/round-reconstruction layer (consumed by
+/// telemetry/analysis.h). A trace reaches the analyzer two ways — live
+/// from a `TraceRecorder` or post-hoc from the Chrome trace_event JSON
+/// the recorder wrote — and both must yield *bit-identical* doubles so
+/// the final report is byte-identical across modes. The trick is to
+/// canonicalize through the serialized form: `ToChromeJson` prints
+/// microsecond timestamps as %.6f decimal text, so the in-process path
+/// formats and re-parses each timestamp exactly the way the post-hoc
+/// parser (`common/json_parse`, strtod) reads it back. All round-model
+/// arithmetic then happens on those canonical microsecond doubles, in
+/// recorder order, in both modes.
+
+/// The canonical microsecond value of `value_us`: the double obtained by
+/// printing it as %.6f (the trace file's format) and parsing the text
+/// back with strtod. Idempotent; quantizes to 1e-6 us = 1e-12 sim-sec.
+double CanonMicros(double value_us);
+
+/// One trace event normalized to canonical microseconds. `args` holds
+/// the parsed args object (kNull when the event carried none).
+struct CanonEvent {
+  bool instant = false;
+  double ts_us = 0;
+  double dur_us = 0;  ///< 0 for instants.
+  std::string lane;
+  std::string name;
+  JsonValue args;
+
+  double end_us() const { return ts_us + dur_us; }
+};
+
+/// A full trace in canonical form, events in recorder order (identical
+/// to file order — `ToChromeJson` serializes in recorder order).
+struct TraceDataset {
+  std::vector<std::string> lanes;  ///< First-use order.
+  std::vector<CanonEvent> events;
+};
+
+/// Builds the canonical dataset straight from an in-process recorder.
+/// Errors (InvalidArgument) if an event's args string is not valid JSON
+/// — the same trace would be unreadable post-hoc.
+Result<TraceDataset> DatasetFromRecorder(const TraceRecorder& recorder);
+
+/// Builds the canonical dataset from the text of a Chrome trace_event
+/// file written by `TraceRecorder::ToChromeJson`. Lane names come from
+/// the thread_name metadata events; non-metadata events must reference
+/// a declared tid.
+Result<TraceDataset> DatasetFromChromeJson(std::string_view json_text);
+
+/// What a slice of critical-path time was spent on.
+enum class Phase {
+  kCalc,           ///< Gradient accumulation toward the target batch.
+  kMatchmakeWait,  ///< Waiting on group formation, no matchmake span.
+  kMatchmake,      ///< Inside a DHT matchmake span.
+  kFlow,           ///< Bound by a WAN transfer (see Segment::flow).
+  kOverhead,       ///< Comm window not covered by any flow (serialize,
+                   ///< aggregate, apply, retry backoff).
+};
+std::string_view PhaseName(Phase phase);
+
+/// A gradient-exchange (or DHT/control) transfer assigned to a round,
+/// clipped to the round's communication window.
+struct FlowRef {
+  double start_us = 0;
+  double end_us = 0;
+  double bytes = 0;
+  int src = -1;
+  int dst = -1;
+  std::string src_zone;  ///< Empty when the trace predates zone args.
+  std::string dst_zone;
+  std::string link;  ///< "src_zone->dst_zone", or "node<s>->node<d>".
+};
+
+/// One slice of a round's critical path. Slices partition
+/// [Round::start_us, Round::end_us]; `flow` indexes Round::flows for
+/// kFlow slices and is -1 otherwise.
+struct Segment {
+  double start_us = 0;
+  double end_us = 0;
+  Phase phase = Phase::kOverhead;
+  int flow = -1;
+
+  double dur_us() const { return end_us - start_us; }
+};
+
+/// One reconstructed training round (trainer epoch).
+struct Round {
+  int run = 0;    ///< Trace-segment index (see RoundModel::num_runs).
+  int epoch = 0;  ///< Trainer epoch number within the run.
+  double start_us = 0;
+  double calc_end_us = 0;   ///< End of gradient accumulation.
+  double avg_start_us = 0;  ///< Averaging start (== calc_end when the
+                            ///< trainer recorded no matchmake wait).
+  double end_us = 0;
+  std::vector<FlowRef> flows;     ///< Recorder order, clipped.
+  std::vector<Segment> critical;  ///< Partition of [start_us, end_us].
+  int retries = 0;                ///< round-retry instants in-window.
+  bool degraded = false;          ///< round-degraded instant in-window.
+  std::vector<std::string> chaos; ///< Chaos instants in-window, in order.
+
+  double dur_us() const { return end_us - start_us; }
+};
+
+/// The reconstructed dependency model of a whole trace.
+struct RoundModel {
+  std::vector<Round> rounds;  ///< Run order, then epoch order.
+  /// Number of trace segments. `hivesim run`/`fleet` record several
+  /// simulations (each restarting at t=0) into one recorder, separated
+  /// by "run-start" instants on the "trace" lane; a marker-free trace
+  /// is a single run.
+  int num_runs = 1;
+  double modeled_us = 0;    ///< Sum of round durations.
+  double unmodeled_us = 0;  ///< Traced sim-time outside any complete
+                            ///< round (bootstrap head, stopped tail).
+};
+
+/// Reconstructs rounds and their critical paths from a dataset.
+/// Attribution semantics (docs/OBSERVABILITY.md has the full contract):
+///   [start, calc_end]    -> kCalc;
+///   [calc_end, avg_start]-> kMatchmake where a matchmake span covers
+///                           the instant, kMatchmakeWait elsewhere;
+///   [avg_start, end]     -> the covering net flow with the latest end
+///                           time (ties: earliest recorded), kOverhead
+///                           where no flow is in flight.
+Result<RoundModel> BuildRoundModel(const TraceDataset& dataset);
+
+}  // namespace hivesim::telemetry
+
+#endif  // HIVESIM_TELEMETRY_ROUND_MODEL_H_

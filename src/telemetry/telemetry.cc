@@ -72,15 +72,19 @@ std::string TraceRecorder::ToChromeJson() const {
   }
   for (const Event& e : events_) {
     // Chrome trace timestamps are microseconds; sim time is seconds.
+    // %.6f (picosecond resolution) keeps the decimal text lossless enough
+    // that the analyzer's canonicalization (telemetry/round_model.h) can
+    // reconcile phase totals against trainer counters to <1e-9 sim-sec
+    // over a whole run.
     const double ts_us = e.ts_sec * 1e6;
     if (e.instant) {
       out += StrFormat(
-          ",\n{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"s\":\"t\","
+          ",\n{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.6f,\"s\":\"t\","
           "\"name\":\"%s\"",
           e.lane + 1, ts_us, JsonWriter::Escape(e.name).c_str());
     } else {
       out += StrFormat(
-          ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,"
+          ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.6f,\"dur\":%.6f,"
           "\"name\":\"%s\"",
           e.lane + 1, ts_us, e.dur_sec * 1e6,
           JsonWriter::Escape(e.name).c_str());
@@ -95,22 +99,37 @@ std::string TraceRecorder::ToChromeJson() const {
   return out;
 }
 
+namespace {
+
+// RFC 4180 field escaping: quote when the field contains a comma, quote,
+// or line break (doubling inner quotes); `force_quote` keeps the args
+// column always-quoted, its historical stable shape.
+std::string CsvField(std::string_view raw, bool force_quote = false) {
+  const bool needs_quoting =
+      force_quote ||
+      raw.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(raw);
+  std::string quoted;
+  quoted.reserve(raw.size() + 2);
+  quoted += '"';
+  for (const char c : raw) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
 std::string TraceRecorder::ToCsv() const {
   std::string out = "kind,lane,name,ts_sec,dur_sec,args\n";
   for (const Event& e : events_) {
-    // args may hold commas/quotes; CSV-quote it wholesale.
-    std::string args = e.args_json;
-    std::string quoted;
-    quoted.reserve(args.size() + 2);
-    quoted += '"';
-    for (const char c : args) {
-      if (c == '"') quoted += '"';
-      quoted += c;
-    }
-    quoted += '"';
     out += StrFormat("%s,%s,%s,%.6f,%.6f,%s\n",
-                     e.instant ? "instant" : "span", lanes_[e.lane].c_str(),
-                     e.name.c_str(), e.ts_sec, e.dur_sec, quoted.c_str());
+                     e.instant ? "instant" : "span",
+                     CsvField(lanes_[e.lane]).c_str(),
+                     CsvField(e.name).c_str(), e.ts_sec, e.dur_sec,
+                     CsvField(e.args_json, /*force_quote=*/true).c_str());
   }
   return out;
 }
@@ -241,6 +260,47 @@ double MetricsRegistry::GaugeOr(std::string_view name, double fallback) const {
 uint64_t MetricsRegistry::HistogramCount(std::string_view name) const {
   const auto it = histograms_.find(name);
   return it != histograms_.end() ? it->second.total : 0;
+}
+
+Result<double> MetricsRegistry::HistogramPercentile(std::string_view name,
+                                                    double q) const {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("quantile must be in [0,1], got %g", q));
+  }
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end() || it->second.total == 0) {
+    return Status::FailedPrecondition(
+        StrCat("histogram '", std::string(name), "' is empty"));
+  }
+  const Histogram& h = it->second;
+  if (h.bounds.empty()) {
+    return Status::FailedPrecondition(
+        StrCat("histogram '", std::string(name), "' has no finite buckets"));
+  }
+  const double target_rank = q * static_cast<double>(h.total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < h.bounds.size(); ++i) {
+    const uint64_t in_bucket = h.counts[i];
+    if (static_cast<double>(cumulative + in_bucket) >= target_rank &&
+        in_bucket > 0) {
+      // Observations are assumed uniform inside the bucket; the first
+      // bucket's lower edge is min(0, bound) so non-negative series
+      // interpolate from zero.
+      const double lower = i == 0 ? std::min(0.0, h.bounds[0]) : h.bounds[i - 1];
+      const double upper = h.bounds[i];
+      const double into_bucket =
+          target_rank - static_cast<double>(cumulative);
+      const double fraction =
+          std::min(1.0, std::max(0.0, into_bucket /
+                                          static_cast<double>(in_bucket)));
+      return lower + fraction * (upper - lower);
+    }
+    cumulative += in_bucket;
+  }
+  // Rank lands in the +inf overflow bucket: the estimate clamps to the
+  // last finite bound (matching Prometheus' histogram_quantile).
+  return h.bounds.back();
 }
 
 std::string MetricsRegistry::ToJson() const {

@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/result.h"
+
 namespace hivesim::telemetry {
 
 /// Records named spans and instant events stamped with *simulation* time
@@ -22,6 +24,18 @@ namespace hivesim::telemetry {
 /// what lets the simulator kernel itself be instrumented without a cycle.
 class TraceRecorder {
  public:
+  /// One recorded event. Exposed read-only so in-process consumers (the
+  /// critical-path analyzer in telemetry/analysis.h) can walk the trace
+  /// without a serialize/parse round trip.
+  struct Event {
+    double ts_sec = 0;
+    double dur_sec = 0;  ///< 0 for instants.
+    bool instant = false;
+    int lane = 0;  ///< Index into lanes().
+    std::string name;
+    std::string args_json;
+  };
+
   /// A completed span [start_sec, end_sec] on `lane`. `args_json`, when
   /// non-empty, must be a compact JSON object ("{\"bytes\":42}") and is
   /// embedded verbatim as the event's args.
@@ -47,18 +61,10 @@ class TraceRecorder {
 
   size_t size() const { return events_.size(); }
   const std::vector<std::string>& lanes() const { return lanes_; }
+  const std::vector<Event>& events() const { return events_; }
   void Clear();
 
  private:
-  struct Event {
-    double ts_sec = 0;
-    double dur_sec = 0;  ///< 0 for instants.
-    bool instant = false;
-    int lane = 0;  ///< Index into lanes_.
-    std::string name;
-    std::string args_json;
-  };
-
   int LaneId(std::string_view lane);
 
   std::vector<std::string> lanes_;  ///< tid = index + 1, first-use order.
@@ -106,6 +112,25 @@ class MetricsRegistry {
   double GaugeOr(std::string_view name, double fallback) const;
   /// Total observations of a histogram (0 when undefined).
   uint64_t HistogramCount(std::string_view name) const;
+
+  /// The `q`-quantile (q in [0,1]) of a histogram, linearly interpolated
+  /// within the bucket containing rank q*total (the Prometheus
+  /// `histogram_quantile` estimate). The first bucket interpolates from
+  /// lower edge min(0, first bound); ranks landing in the +inf overflow
+  /// bucket clamp to the last finite bound. Errors: InvalidArgument for
+  /// q outside [0,1], FailedPrecondition for an undefined/empty
+  /// histogram or one declared with no finite bounds.
+  Result<double> HistogramPercentile(std::string_view name, double q) const;
+  /// Convenience p50/p95/p99 wrappers around `HistogramPercentile`.
+  Result<double> HistogramP50(std::string_view name) const {
+    return HistogramPercentile(name, 0.50);
+  }
+  Result<double> HistogramP95(std::string_view name) const {
+    return HistogramPercentile(name, 0.95);
+  }
+  Result<double> HistogramP99(std::string_view name) const {
+    return HistogramPercentile(name, 0.99);
+  }
 
   /// Stable address of a counter's value slot, creating the counter at
   /// zero. The pointer stays valid until `Clear()` or destruction (the

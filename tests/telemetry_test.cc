@@ -69,6 +69,69 @@ TEST_F(TelemetryTest, CsvQuotesArgsAndKeepsHeaderStable) {
             std::string::npos);
 }
 
+TEST_F(TelemetryTest, CsvEscapesDelimitersQuotesAndNewlinesRfc4180) {
+  TraceRecorder trace;
+  trace.Span(0.0, 1.0, "lane,with,commas", "name \"quoted\"", "{}");
+  trace.Instant(2.0, "multi\nline", "cr\rname");
+
+  const std::string csv = trace.ToCsv();
+  // Fields containing the delimiter are wrapped in quotes.
+  EXPECT_NE(csv.find("\"lane,with,commas\""), std::string::npos);
+  // Inner quotes are doubled, and the field itself is quoted.
+  EXPECT_NE(csv.find("\"name \"\"quoted\"\"\""), std::string::npos);
+  // Embedded newlines/carriage returns stay inside one quoted field
+  // instead of breaking the row.
+  EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+  EXPECT_NE(csv.find("\"cr\rname\""), std::string::npos);
+  // A clean field is left bare (no gratuitous quoting).
+  EXPECT_NE(csv.find("span,\"lane,with,commas\""), std::string::npos);
+}
+
+TEST_F(TelemetryTest, HistogramPercentilesInterpolateWithinBuckets) {
+  MetricsRegistry metrics;
+  metrics.DefineHistogram("h", {1, 2, 5});
+  // Buckets: (<=1): 2 obs, (1,2]: 2 obs, (2,5]: 0, overflow: 0.
+  metrics.Observe("h", 0.5);
+  metrics.Observe("h", 0.9);
+  metrics.Observe("h", 1.5);
+  metrics.Observe("h", 1.8);
+
+  // p50: rank 2 falls at the end of the first bucket [0,1] -> 1.0.
+  auto p50 = metrics.HistogramP50("h");
+  ASSERT_TRUE(p50.ok());
+  EXPECT_DOUBLE_EQ(*p50, 1.0);
+  // p75: rank 3 is halfway through the (1,2] bucket -> 1.5.
+  auto p75 = metrics.HistogramPercentile("h", 0.75);
+  ASSERT_TRUE(p75.ok());
+  EXPECT_DOUBLE_EQ(*p75, 1.5);
+  // p100 caps at the last occupied bucket's upper bound.
+  auto p100 = metrics.HistogramPercentile("h", 1.0);
+  ASSERT_TRUE(p100.ok());
+  EXPECT_DOUBLE_EQ(*p100, 2.0);
+}
+
+TEST_F(TelemetryTest, HistogramPercentileOverflowClampsToLastFiniteBound) {
+  MetricsRegistry metrics;
+  metrics.DefineHistogram("h", {1, 2, 5});
+  metrics.Observe("h", 100);  // Overflow bucket only.
+  auto p99 = metrics.HistogramP99("h");
+  ASSERT_TRUE(p99.ok());
+  EXPECT_DOUBLE_EQ(*p99, 5.0);
+}
+
+TEST_F(TelemetryTest, HistogramPercentileErrorsOnEmptyOrBadInput) {
+  MetricsRegistry metrics;
+  EXPECT_FALSE(metrics.HistogramP95("missing").ok());
+  metrics.DefineHistogram("empty", {1, 2});
+  EXPECT_FALSE(metrics.HistogramP95("empty").ok());
+
+  metrics.DefineHistogram("h", {1});
+  metrics.Observe("h", 0.5);
+  EXPECT_FALSE(metrics.HistogramPercentile("h", -0.1).ok());
+  EXPECT_FALSE(metrics.HistogramPercentile("h", 1.5).ok());
+  EXPECT_TRUE(metrics.HistogramPercentile("h", 0.0).ok());
+}
+
 TEST_F(TelemetryTest, RegistryCountsGaugesAndHistograms) {
   MetricsRegistry metrics;
   metrics.Count("net.messages");

@@ -16,6 +16,21 @@
 //     --trace-out PATH         Chrome trace_event JSON of the run
 //                              (open in https://ui.perfetto.dev).
 //     --metrics-out PATH       Counter/gauge/histogram snapshot as JSON.
+//     --analysis-out PATH      In-process critical-path analysis of the
+//                              run (schema hivesim-analysis/1) — byte-
+//                              identical to `hivesim analyze` on the
+//                              same run's --trace-out/--metrics-out.
+//   analyze                    Post-hoc critical-path / bottleneck
+//                              attribution of a recorded trace
+//                              (docs/OBSERVABILITY.md).
+//     --trace PATH             Chrome trace JSON from --trace-out (or a
+//                              sweep cell's runs/ directory). Required.
+//     --metrics PATH           Optional metrics snapshot; adds the
+//                              trace-vs-counter reconciliation section.
+//     --out PATH               Write analysis.json (deterministic:
+//                              same trace => identical bytes).
+//     --top K                  Headroom entries (default 5).
+//     --what-if F              Headroom link-speed factor (default 2).
 //   advise                     Rank training options by $/1M samples.
 //     --model M --min-sps S --sizes "2,4,8"
 //   profile                    iperf/ping between two sites.
@@ -83,6 +98,7 @@
 #include "perfgate/perfgate.h"
 #include "net/profiles.h"
 #include "sim/simulator.h"
+#include "telemetry/analysis.h"
 #include "telemetry/telemetry.h"
 
 namespace {
@@ -179,12 +195,14 @@ int CmdList(const FlagSet& flags) {
 
 void EnableTelemetryIfRequested(const FlagSet& flags) {
   if (!flags.GetString("trace-out", "").empty() ||
-      !flags.GetString("metrics-out", "").empty()) {
+      !flags.GetString("metrics-out", "").empty() ||
+      !flags.GetString("analysis-out", "").empty()) {
     telemetry::Telemetry::Enable();
   }
 }
 
-/// Writes the dumps requested via --trace-out/--metrics-out; 0 on success.
+/// Writes the dumps requested via --trace-out/--metrics-out/
+/// --analysis-out; 0 on success.
 int WriteTelemetryOutputs(const FlagSet& flags) {
   const std::string trace = flags.GetString("trace-out", "");
   if (!trace.empty() &&
@@ -196,12 +214,23 @@ int WriteTelemetryOutputs(const FlagSet& flags) {
       !telemetry::Telemetry::metrics().WriteJson(metrics)) {
     return Fail(Status::IOError(StrCat("cannot write ", metrics)));
   }
+  const std::string analysis = flags.GetString("analysis-out", "");
+  if (!analysis.empty()) {
+    // In-process mode: same round model, same canonicalized arithmetic
+    // as `hivesim analyze` reading the written trace — byte-identical.
+    auto report = telemetry::RoundAnalyzer().Analyze();
+    if (!report.ok()) return Fail(report.status());
+    std::ofstream f(analysis, std::ios::binary);
+    f << report->ToJson() << "\n";
+    if (!f) return Fail(Status::IOError(StrCat("cannot write ", analysis)));
+  }
   return 0;
 }
 
 int CmdRun(const FlagSet& flags) {
   if (Status s = flags.CheckKnown({"series", "model", "tbs", "hours", "csv",
-                                   "json", "trace-out", "metrics-out"});
+                                   "json", "trace-out", "metrics-out",
+                                   "analysis-out"});
       !s.ok()) {
     return Fail(s);
   }
@@ -248,7 +277,8 @@ int CmdRun(const FlagSet& flags) {
 
 int CmdFleet(const FlagSet& flags) {
   if (Status s = flags.CheckKnown({"spec", "model", "tbs", "hours", "json",
-                                   "trace-out", "metrics-out"});
+                                   "trace-out", "metrics-out",
+                                   "analysis-out"});
       !s.ok()) {
     return Fail(s);
   }
@@ -471,6 +501,60 @@ int CmdSweep(const FlagSet& flags) {
   return summary->failures == 0 ? 0 : 1;
 }
 
+int CmdAnalyze(const FlagSet& flags) {
+  if (Status s = flags.CheckKnown({"trace", "metrics", "out", "top",
+                                   "what-if"});
+      !s.ok()) {
+    return Fail(s);
+  }
+  const std::string trace_path = flags.GetString("trace", "");
+  if (trace_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "analyze needs --trace with a Chrome trace JSON (see --trace-out)"));
+  }
+  telemetry::AnalysisOptions options;
+  auto top = flags.GetInt("top", options.top_k);
+  if (!top.ok()) return Fail(top.status());
+  if (*top < 0) {
+    return Fail(Status::InvalidArgument("--top must be non-negative"));
+  }
+  options.top_k = *top;
+  auto what_if = flags.GetDouble("what-if", options.what_if_factor);
+  if (!what_if.ok()) return Fail(what_if.status());
+  if (!(*what_if >= 1.0)) {
+    return Fail(Status::InvalidArgument("--what-if must be >= 1"));
+  }
+  options.what_if_factor = *what_if;
+
+  std::ifstream in(trace_path, std::ios::binary);
+  if (!in) {
+    return Fail(Status::IOError(StrCat("cannot read ", trace_path)));
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto report = telemetry::AnalyzeChromeJson(text.str(), options);
+  if (!report.ok()) return Fail(report.status());
+
+  const std::string metrics_path = flags.GetString("metrics", "");
+  if (!metrics_path.empty()) {
+    auto doc = ParseJsonFile(metrics_path);
+    if (!doc.ok()) return Fail(doc.status());
+    if (Status s = telemetry::AttachMetricsJson(&report.value(), *doc);
+        !s.ok()) {
+      return Fail(s);
+    }
+  }
+
+  report->PrintTable(std::cout);
+  const std::string out_path = flags.GetString("out", "");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    out << report->ToJson() << "\n";
+    if (!out) return Fail(Status::IOError(StrCat("cannot write ", out_path)));
+  }
+  return 0;
+}
+
 int CmdLint(const FlagSet& flags) {
   if (Status s = flags.CheckKnown({"compile-commands", "root"}); !s.ok()) {
     return Fail(s);
@@ -525,8 +609,8 @@ int CmdPerfGate(const FlagSet& flags) {
 }
 
 int Usage() {
-  std::cout << "usage: hivesim <list|run|fleet|advise|profile|sweep|lint|"
-               "perfgate> [--flags]\n"
+  std::cout << "usage: hivesim <list|run|fleet|advise|profile|sweep|"
+               "analyze|lint|perfgate> [--flags]\n"
                "See the header of tools/hivesim_cli.cc for details.\n";
   return 2;
 }
@@ -544,6 +628,7 @@ int main(int argc, char** argv) {
   if (command == "advise") return CmdAdvise(flags);
   if (command == "profile") return CmdProfile(flags);
   if (command == "sweep") return CmdSweep(flags);
+  if (command == "analyze") return CmdAnalyze(flags);
   if (command == "lint") return CmdLint(flags);
   if (command == "perfgate") return CmdPerfGate(flags);
   return Usage();

@@ -48,6 +48,8 @@ struct LintConfig {
   std::vector<std::string> emitter_headers = {
       "common/json.h",
       "common/table_writer.h",
+      "telemetry/analysis.h",
+      "telemetry/round_model.h",
       "telemetry/telemetry.h",
   };
 
@@ -58,7 +60,9 @@ struct LintConfig {
       "JsonWriter",   "TableWriter",     "TraceRecorder", "MetricsRegistry",
       "CounterHandle", "ToJson",         "ToCsv",         "ToChromeJson",
       "WriteJson",    "WriteCsv",        "WriteChromeJson", "Counter",
-      "Gauge",        "Histogram",       "AppendCsv",
+      "Gauge",        "Histogram",       "AppendCsv",     "AnalysisReport",
+      "RoundAnalyzer", "AnalyzeDataset", "AnalyzeRecorder",
+      "AnalyzeChromeJson", "BuildRoundModel", "PrintTable",
   };
 
   /// The declared module DAG: module -> direct dependencies. Both the
