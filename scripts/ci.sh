@@ -16,7 +16,12 @@
 #   6. an analyze smoke: `hivesim analyze` over two identically seeded
 #      trace_tour runs must produce byte-identical analysis.json
 #      (docs/OBSERVABILITY.md's determinism contract),
-#   7. the perf gate: the four gated bench binaries run with
+#   7. a bounded chaos-fuzz soak (`hivesim fuzz`, fixed seed, wall-clock
+#      capped): every generated world must pass the determinism oracle
+#      set, then the committed regression reproducers under
+#      tests/scenarios/ are replayed and must stay green
+#      (docs/SCENARIOS.md),
+#   8. the perf gate: the four gated bench binaries run with
 #      --bench-json (each self-checks determinism first and exits
 #      non-zero on divergence), then `hivesim perfgate` compares the
 #      fresh BENCH_<area>.json artifacts against the committed baselines
@@ -78,6 +83,13 @@ echo "=== analyze smoke: byte-identical analysis across seeded reruns ==="
   --metrics="$tmpdir/tour2.metrics.json" \
   --out="$tmpdir/tour.analysis.2.json" > /dev/null
 cmp "$tmpdir/tour.analysis.1.json" "$tmpdir/tour.analysis.2.json"
+
+echo "=== fuzz soak: bounded chaos-fuzz campaign + regression replay ==="
+# Fixed seed keeps the soak reproducible; --budget-sec only stops early
+# on a slow machine (the campaign stays green either way).
+./build/tools/hivesim fuzz --seed 1 --runs 1500 --budget-sec 30 \
+  --sim-minutes 30 --max-events 8
+./build/tools/hivesim fuzz --replay-dir tests/scenarios
 
 echo "=== perf gate: benches --bench-json vs bench/baselines ==="
 cmake --build --preset default -j "$(nproc)" \

@@ -57,6 +57,7 @@ class Parser {
     if (depth > kMaxDepth) return Error("nesting too deep");
     SkipWhitespace();
     if (pos_ >= text_.size()) return Error("unexpected end of input");
+    out.offset = pos_;
     switch (text_[pos_]) {
       case 'n':
         if (!ConsumeLiteral("null")) return Error("expected 'null'");

@@ -24,6 +24,11 @@ class JsonValue {
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
 
   Kind kind = Kind::kNull;
+  /// Byte offset of this value's first character in the parsed text.
+  /// Consumers layering semantic validation on top of the grammar
+  /// (scenario packs) tag their errors with it, so "field out of range"
+  /// points at the document position just like a syntax error would.
+  size_t offset = 0;
   bool bool_value = false;
   double number_value = 0;
   std::string string_value;

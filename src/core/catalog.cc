@@ -1,5 +1,7 @@
 #include "core/catalog.h"
 
+#include <cstdlib>
+
 #include "common/strings.h"
 
 namespace hivesim::core {
@@ -105,4 +107,63 @@ std::vector<NamedExperiment> LambdaSeries() {
   return out;
 }
 
+
+const std::map<std::string, net::SiteId>& FleetSiteAliases() {
+  static const auto& aliases = *new std::map<std::string, net::SiteId>{
+      {"gc-us", net::kGcUs},     {"gc-eu", net::kGcEu},
+      {"gc-asia", net::kGcAsia}, {"gc-aus", net::kGcAus},
+      {"aws", net::kAwsUsWest},  {"azure", net::kAzureUsSouth},
+      {"lambda", net::kLambdaUsWest}, {"onprem", net::kOnPremEu},
+  };
+  return aliases;
+}
+
+namespace {
+
+Result<VmGroup> GroupFor(const std::string& site_alias, int count) {
+  auto it = FleetSiteAliases().find(site_alias);
+  if (it == FleetSiteAliases().end()) {
+    return Status::InvalidArgument(StrCat("unknown site '", site_alias,
+                                          "'; see `hivesim list`"));
+  }
+  switch (it->second) {
+    case net::kAwsUsWest:
+      return AwsT4s(count);
+    case net::kAzureUsSouth:
+      return AzureT4s(count);
+    case net::kLambdaUsWest:
+      return LambdaA10s(count);
+    case net::kOnPremEu:
+      return Status::InvalidArgument(
+          "on-prem machines are singletons; use the E/F series");
+    default:
+      return GcT4s(count, it->second);
+  }
+}
+
+}  // namespace
+
+Result<ClusterSpec> ParseFleetSpec(const std::string& spec) {
+  ClusterSpec cluster;
+  for (const std::string& part : StrSplit(spec, ',')) {
+    const auto fields = StrSplit(part, ':');
+    if (fields.size() != 2) {
+      return Status::InvalidArgument(
+          StrCat("bad group '", part, "', want site:count"));
+    }
+    const int count = std::atoi(fields[1].c_str());
+    if (count <= 0) {
+      return Status::InvalidArgument(StrCat("bad count in '", part, "'"));
+    }
+    VmGroup group;
+    HIVESIM_ASSIGN_OR_RETURN(group, GroupFor(fields[0], count));
+    cluster.groups.push_back(group);
+  }
+  if (cluster.groups.empty()) {
+    return Status::InvalidArgument("empty fleet spec");
+  }
+  return cluster;
+}
+
 }  // namespace hivesim::core
+

@@ -11,23 +11,23 @@ namespace hivesim::core {
 
 namespace {
 
-/// Distinct member sites in first-appearance order.
-std::vector<net::SiteId> DistinctSites(const Cluster& cluster) {
-  std::vector<net::SiteId> sites;
-  for (const Cluster::Member& member : cluster.members()) {
-    if (std::find(sites.begin(), sites.end(), member.site) == sites.end()) {
-      sites.push_back(member.site);
-    }
-  }
-  return sites;
-}
-
 template <typename T>
 bool HasDuplicates(const std::vector<T>& values) {
   return std::set<T>(values.begin(), values.end()).size() != values.size();
 }
 
 }  // namespace
+
+scenario::FleetView FleetViewOf(const Cluster& cluster,
+                                const net::Topology& topology) {
+  std::vector<scenario::FleetMember> members;
+  members.reserve(cluster.members().size());
+  for (const Cluster::Member& member : cluster.members()) {
+    members.push_back({member.node, member.site,
+                       topology.site(member.site).continent});
+  }
+  return scenario::MakeFleetView(std::move(members));
+}
 
 Result<ChaosPreset> ParseChaosPreset(std::string_view name) {
   if (name == "none") return ChaosPreset::kNone;
@@ -53,47 +53,18 @@ std::string_view ChaosPresetName(ChaosPreset preset) {
   return "?";
 }
 
-faults::ChaosSchedule BuildChaosSchedule(ChaosPreset preset,
-                                         const Cluster& cluster,
-                                         const net::Topology& topology,
-                                         double duration_sec) {
-  (void)topology;
-  faults::ChaosSchedule schedule;
+Result<faults::ChaosSchedule> BuildChaosSchedule(ChaosPreset preset,
+                                                 const Cluster& cluster,
+                                                 const net::Topology& topology,
+                                                 double duration_sec) {
   if (preset == ChaosPreset::kNone || cluster.members().empty()) {
-    return schedule;
+    return faults::ChaosSchedule();
   }
-  const std::vector<net::SiteId> sites = DistinctSites(cluster);
-  const net::SiteId a = sites.front();
-  const net::SiteId b = sites.size() > 1 ? sites[1] : sites.front();
-  switch (preset) {
-    case ChaosPreset::kNone:
-      break;
-    case ChaosPreset::kWanDegrade:
-      schedule.DegradeWan(a, b, 0.25 * duration_sec, 0.25 * duration_sec,
-                          0.10, MsToSec(100));
-      break;
-    case ChaosPreset::kPartition:
-      if (sites.size() > 1) {
-        schedule.Partition(a, b, 0.5 * duration_sec, 0.125 * duration_sec);
-      } else {
-        schedule.DegradeWan(a, b, 0.5 * duration_sec, 0.125 * duration_sec,
-                            0.10, MsToSec(100));
-      }
-      break;
-    case ChaosPreset::kChurn: {
-      std::vector<net::NodeId> nodes;
-      for (size_t i = 1; i < cluster.members().size(); ++i) {
-        nodes.push_back(cluster.members()[i].node);
-      }
-      if (nodes.empty()) break;
-      const int crashes = std::min<int>(2, static_cast<int>(nodes.size()));
-      schedule.CrashStorm(std::move(nodes), 0.4 * duration_sec,
-                          0.2 * duration_sec, crashes,
-                          /*restart_after_sec=*/600);
-      break;
-    }
-  }
-  return schedule;
+  scenario::ScenarioPack pack;
+  HIVESIM_ASSIGN_OR_RETURN(pack,
+      scenario::BuiltinScenario(ChaosPresetName(preset)));
+  return scenario::Compile(pack, FleetViewOf(cluster, topology),
+                           duration_sec);
 }
 
 Status SweepSpec::Validate() const {
@@ -144,12 +115,31 @@ Status SweepSpec::Validate() const {
   if (HasDuplicates(chaos)) {
     return Status::InvalidArgument("duplicate chaos preset in sweep spec");
   }
+  // Scenario labels share the chaos axis namespace: a label that is
+  // empty, repeated, or shadows a preset would expand into colliding
+  // cell names.
+  std::vector<std::string> labels;
+  labels.reserve(scenarios.size());
+  for (const ScenarioAxisEntry& entry : scenarios) {
+    if (entry.label.empty()) {
+      return Status::InvalidArgument("scenario axis entry needs a label");
+    }
+    if (ParseChaosPreset(entry.label).ok()) {
+      return Status::InvalidArgument(
+          StrCat("scenario label '", entry.label,
+                 "' collides with a chaos preset name"));
+    }
+    labels.push_back(entry.label);
+  }
+  if (HasDuplicates(labels)) {
+    return Status::InvalidArgument("duplicate scenario label in sweep spec");
+  }
   return Status::OK();
 }
 
 size_t SweepSpec::NumCells() const {
   return clusters.size() * models.size() * target_batch_sizes.size() *
-         seeds.size() * chaos.size();
+         seeds.size() * (chaos.size() + scenarios.size());
 }
 
 std::vector<SweepCell> ExpandSweep(const SweepSpec& spec) {
@@ -159,15 +149,29 @@ std::vector<SweepCell> ExpandSweep(const SweepSpec& spec) {
     for (const models::ModelId model : spec.models) {
       for (const int tbs : spec.target_batch_sizes) {
         for (const uint64_t seed : spec.seeds) {
-          for (const ChaosPreset chaos : spec.chaos) {
+          // The chaos axis innermost: presets first, then scenario
+          // packs, in spec order.
+          const size_t chaos_axis = spec.chaos.size() + spec.scenarios.size();
+          for (size_t c = 0; c < chaos_axis; ++c) {
+            const bool is_pack = c >= spec.chaos.size();
             SweepCell cell;
             cell.index = cells.size();
             cell.cluster = cluster;
-            cell.chaos = chaos;
+            if (is_pack) {
+              const ScenarioAxisEntry& entry =
+                  spec.scenarios[c - spec.chaos.size()];
+              cell.has_scenario = true;
+              cell.scenario_pack = entry.pack;
+              cell.chaos_label = entry.label;
+            } else {
+              cell.chaos = spec.chaos[c];
+              cell.chaos_label = std::string(ChaosPresetName(cell.chaos));
+            }
+            const bool chaotic = is_pack || cell.chaos != ChaosPreset::kNone;
             cell.name = StrCat(cluster.name, "/", models::ModelName(model),
                                "/tbs", tbs, "/seed", seed);
-            if (chaos != ChaosPreset::kNone) {
-              cell.name = StrCat(cell.name, "/", ChaosPresetName(chaos));
+            if (chaotic) {
+              cell.name = StrCat(cell.name, "/", cell.chaos_label);
             }
             cell.slug = Slugify(cell.name);
 
@@ -180,7 +184,7 @@ std::vector<SweepCell> ExpandSweep(const SweepSpec& spec) {
             cell.config.strategy = spec.strategy;
             cell.config.streams_per_transfer = spec.streams_per_transfer;
             cell.config.seed = seed;
-            if (chaos != ChaosPreset::kNone) {
+            if (chaotic) {
               // Section 7 hardening: abort rounds a partition froze and
               // degrade to the surviving peers after two retries.
               cell.config.averaging_round_timeout_sec = 120;
@@ -278,6 +282,9 @@ std::string SweepAggregator::ManifestJson() const {
   for (const ChaosPreset preset : spec_.chaos) {
     json.String(std::string(ChaosPresetName(preset)));
   }
+  for (const ScenarioAxisEntry& entry : spec_.scenarios) {
+    json.String(entry.label);
+  }
   json.EndArray();
   json.Key("duration_sec").Number(spec_.duration_sec);
   json.EndObject();
@@ -295,10 +302,11 @@ std::string SweepAggregator::ManifestJson() const {
     json.Key("model").String(std::string(models::ModelName(cell.config.model)));
     json.Key("tbs").Int(cell.config.target_batch_size);
     json.Key("seed").Int(static_cast<int64_t>(cell.config.seed));
-    json.Key("chaos").String(std::string(ChaosPresetName(cell.chaos)));
+    json.Key("chaos").String(cell.chaos_label);
     json.Key("ok").Bool(present_[i] && outcome.ok);
     if (present_[i] && !outcome.ok) json.Key("error").String(outcome.error);
-    if (cell.chaos != ChaosPreset::kNone && present_[i] && outcome.ok) {
+    if ((cell.chaos != ChaosPreset::kNone || cell.has_scenario) &&
+        present_[i] && outcome.ok) {
       json.Key("chaos_fingerprint")
           .String(StrFormat("%016llx", static_cast<unsigned long long>(
                                            outcome.chaos_fingerprint)));

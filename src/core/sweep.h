@@ -12,6 +12,7 @@
 #include "core/catalog.h"
 #include "core/experiment.h"
 #include "faults/chaos.h"
+#include "scenario/scenario.h"
 #include "telemetry/telemetry.h"
 
 namespace hivesim::core {
@@ -39,12 +40,23 @@ enum class ChaosPreset {
 Result<ChaosPreset> ParseChaosPreset(std::string_view name);
 std::string_view ChaosPresetName(ChaosPreset preset);
 
-/// The concrete schedule of `preset` for a provisioned cluster; empty for
-/// kNone. `duration_sec` anchors the event windows.
-faults::ChaosSchedule BuildChaosSchedule(ChaosPreset preset,
-                                         const Cluster& cluster,
-                                         const net::Topology& topology,
-                                         double duration_sec);
+/// The scenario view of a provisioned cluster: member order is peer
+/// order, continents come from the topology's sites. Every pack
+/// compilation in core (presets, sweep scenario cells, `--scenario`
+/// runs) goes through this one adapter.
+scenario::FleetView FleetViewOf(const Cluster& cluster,
+                                const net::Topology& topology);
+
+/// The concrete schedule of `preset` for a provisioned cluster; empty
+/// for kNone. `duration_sec` anchors the event windows. Preset names
+/// resolve to the builtin scenario packs (scenario/presets.cc — the
+/// committed `scenarios/<name>.json` files hold the same bytes), so a
+/// preset is exactly `scenario::Compile` of its pack; tests pin the
+/// schedule to the legacy in-code construction event for event.
+Result<faults::ChaosSchedule> BuildChaosSchedule(ChaosPreset preset,
+                                                 const Cluster& cluster,
+                                                 const net::Topology& topology,
+                                                 double duration_sec);
 
 /// A figure grid as data: the cross product of cluster layouts, models,
 /// target batch sizes, seeds, and chaos scripts, sharing one duration and
@@ -52,6 +64,14 @@ faults::ChaosSchedule BuildChaosSchedule(ChaosPreset preset,
 /// suitability models x {8K,16K,32K} on 2xA10; Fig. 7-10 = the A/B/C/D
 /// series; ...). Expansion order is the documented, stable cell order:
 /// clusters outermost, then models, batch sizes, seeds, chaos innermost.
+/// One scenario-pack entry on the sweep's chaos axis: a label (cell
+/// name suffix; defaults to the pack's own name at the CLI) plus the
+/// parsed pack, compiled per cell against that cell's fleet.
+struct ScenarioAxisEntry {
+  std::string label;
+  scenario::ScenarioPack pack;
+};
+
 struct SweepSpec {
   std::string title = "sweep";
   std::vector<NamedExperiment> clusters;               ///< Required.
@@ -59,6 +79,9 @@ struct SweepSpec {
   std::vector<int> target_batch_sizes = {32768};
   std::vector<uint64_t> seeds = {1};
   std::vector<ChaosPreset> chaos = {ChaosPreset::kNone};
+  /// Scenario packs extend the chaos axis: every cell grid expands over
+  /// presets first, then packs, in the order given here.
+  std::vector<ScenarioAxisEntry> scenarios;
   double duration_sec = 2 * kHour;
 
   // Shared trainer knobs (not axes; add an axis when a figure needs one).
@@ -83,6 +106,12 @@ struct SweepCell {
   NamedExperiment cluster;
   ExperimentConfig config;
   ChaosPreset chaos = ChaosPreset::kNone;
+  /// Scenario-pack cells: `has_scenario` selects `scenario_pack` over
+  /// the preset; `chaos_label` is what reports print for either kind
+  /// ("none", a preset name, or the pack entry's label).
+  bool has_scenario = false;
+  scenario::ScenarioPack scenario_pack;
+  std::string chaos_label = "none";
 };
 
 /// Expands the spec's cross product in documented order. Chaos cells get

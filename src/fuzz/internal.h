@@ -1,0 +1,15 @@
+#ifndef HIVESIM_FUZZ_INTERNAL_H_
+#define HIVESIM_FUZZ_INTERNAL_H_
+
+#include "scenario/scenario.h"
+
+namespace hivesim::fuzz::internal {
+
+/// Spec-level predicates the injected-ordering-bug test hook keys on
+/// (exposed for the fuzzer's own unit tests).
+bool PackHasFullPartition(const scenario::ScenarioPack& pack);
+bool PackHasCrash(const scenario::ScenarioPack& pack);
+
+}  // namespace hivesim::fuzz::internal
+
+#endif  // HIVESIM_FUZZ_INTERNAL_H_

@@ -11,6 +11,7 @@
 #include "core/cluster.h"
 #include "core/experiment.h"
 #include "core/predictor.h"
+#include "fuzz/fuzz.h"
 #include "models/calibration.h"
 #include "models/memory.h"
 #include "net/network.h"
@@ -281,6 +282,58 @@ TEST_P(TbsSweepTest, GranularityGrowsLinearlyWithTbs) {
 
 INSTANTIATE_TEST_SUITE_P(BigModels, TbsSweepTest,
                          ::testing::Values(2, 3, 4, 6, 7));
+
+// --- Fuzz generator properties ---
+
+// Every generated case is canonical: windows sorted and non-overlapping
+// per path, diurnal curves exclusive with interval windows, zones drawn
+// from the fleet, peers in range, the pack compiles, and its canonical
+// JSON round-trips byte-identically. CheckCanonical encodes all of it.
+class FuzzCanonicalTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzCanonicalTest, GeneratedCasesAreAlwaysCanonical) {
+  fuzz::FuzzOptions options;
+  options.seed = GetParam();
+  options.max_events = 8;
+  options.sim_duration_sec = 600;
+  for (int i = 0; i < 12; ++i) {
+    const fuzz::FuzzCase fuzz_case = fuzz::GenerateCase(options, i);
+    const Status canonical = fuzz::CheckCanonical(fuzz_case);
+    EXPECT_TRUE(canonical.ok())
+        << "seed " << options.seed << " case " << i << ": "
+        << canonical.ToString() << "\n"
+        << scenario::ScenarioToJson(fuzz_case.pack);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCanonicalTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           0xdeadbeefULL));
+
+// Shrinking any canonical pack against any structural predicate keeps
+// the pack canonical (shrunk packs must themselves be valid scenarios).
+TEST(FuzzShrinkProperty, ShrunkPacksStayCanonical) {
+  fuzz::FuzzOptions options;
+  options.seed = 2;
+  options.max_events = 8;
+  options.sim_duration_sec = 600;
+  const fuzz::OracleFn still_fails = [](const scenario::ScenarioPack& pack) {
+    return !pack.crashes.empty() || !pack.crash_storms.empty() ||
+           !pack.zone_storms.empty();
+  };
+  int shrunk = 0;
+  for (int i = 0; i < 12; ++i) {
+    fuzz::FuzzCase fuzz_case = fuzz::GenerateCase(options, i);
+    if (!still_fails(fuzz_case.pack)) continue;
+    ++shrunk;
+    fuzz_case.pack = fuzz::ShrinkPack(fuzz_case.pack, still_fails);
+    const Status canonical = fuzz::CheckCanonical(fuzz_case);
+    EXPECT_TRUE(canonical.ok())
+        << "case " << i << ": " << canonical.ToString() << "\n"
+        << scenario::ScenarioToJson(fuzz_case.pack);
+  }
+  EXPECT_GE(shrunk, 1);
+}
 
 }  // namespace
 }  // namespace hivesim

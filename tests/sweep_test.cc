@@ -21,6 +21,7 @@
 #include "common/units.h"
 #include "core/sweep.h"
 #include "core/sweep_runner.h"
+#include "scenario/scenario.h"
 #include "telemetry/telemetry.h"
 
 namespace hivesim::core {
@@ -101,6 +102,35 @@ TEST(SweepSpecTest, ValidateRejectsBadSpecs) {
   EXPECT_FALSE(no_axis.Validate().ok());
 
   EXPECT_TRUE(SmallGrid().Validate().ok());
+}
+
+// Scenario packs ride the chaos axis, so their labels share a namespace
+// with the preset names and must be unique and non-empty.
+TEST(SweepSpecTest, ScenarioAxisLabelsAreValidatedAndNameCells) {
+  auto pack = scenario::BuiltinScenario("zone-diurnal");
+  ASSERT_TRUE(pack.ok());
+
+  SweepSpec ok = SmallGrid();
+  ok.chaos = {ChaosPreset::kNone};
+  ok.scenarios.push_back(ScenarioAxisEntry{"zone-diurnal", *pack});
+  ASSERT_TRUE(ok.Validate().ok());
+  const std::vector<SweepCell> cells = ExpandSweep(ok);
+  ASSERT_FALSE(cells.empty());
+  // Scenario cells expand after the presets, suffixed with the label.
+  EXPECT_EQ(cells[0].name, "2xA10/CONV/tbs8192/seed1");
+  EXPECT_EQ(cells[1].name, "2xA10/CONV/tbs8192/seed1/zone-diurnal");
+
+  SweepSpec collides = ok;
+  collides.scenarios[0].label = "partition";
+  EXPECT_FALSE(collides.Validate().ok());
+
+  SweepSpec unlabeled = ok;
+  unlabeled.scenarios[0].label.clear();
+  EXPECT_FALSE(unlabeled.Validate().ok());
+
+  SweepSpec dup = ok;
+  dup.scenarios.push_back(dup.scenarios[0]);
+  EXPECT_FALSE(dup.Validate().ok());
 }
 
 TEST(SweepSpecTest, ChaosPresetRoundTrip) {

@@ -13,6 +13,9 @@
 //                              gc-asia, gc-aus, aws, azure, lambda).
 //     --model / --tbs / --hours as above.
 //   run/fleet also accept:
+//     --scenario PATH          Arm a scenario pack (JSON/CSV fault
+//                              script; docs/SCENARIOS.md) against the
+//                              fleet and print the chaos fingerprint.
 //     --trace-out PATH         Chrome trace_event JSON of the run
 //                              (open in https://ui.perfetto.dev).
 //     --metrics-out PATH       Counter/gauge/histogram snapshot as JSON.
@@ -58,6 +61,8 @@
 //     --seeds 1,2              Seed axis.
 //     --chaos none,partition   Chaos axis (none, wan-degrade, partition,
 //                              churn); see docs/SWEEPS.md.
+//     --scenarios p1.json,p2   Scenario packs extending the chaos axis;
+//                              each cell label is the pack's name.
 //     --hours H --title T      Shared run length / report title.
 //     --threads N              Worker threads (results are byte-identical
 //                              for any N; see tests/sweep_test.cc).
@@ -65,6 +70,31 @@
 //                              metrics_merged.json (+ per-run telemetry
 //                              under DIR/runs with --telemetry).
 //     --telemetry              Per-cell trace + metrics capture.
+//   scenario                   Inspect scenario packs (docs/SCENARIOS.md).
+//     --check PATH             Parse + validate; print a summary.
+//     --canonicalize PATH      Parse and print the canonical JSON bytes.
+//     --dump-builtin NAME      Print a builtin pack (wan-degrade,
+//                              partition, churn, zone-diurnal) — what the
+//                              committed scenarios/<name>.json holds.
+//   fuzz                       Chaos fuzzer: seeded random scenario packs
+//                              against random fleets, each world run
+//                              twice, the oracle set checked, failures
+//                              shrunk to minimal reproducer packs
+//                              (docs/SCENARIOS.md).
+//     --seed S --runs N        Campaign identity (same seed+runs => same
+//                              verdicts, same digest, byte-identical
+//                              reproducer files).
+//     --budget-sec B           Wall-clock safety stop (0 = none; hitting
+//                              it marks the campaign truncated).
+//     --max-events K           Events per generated pack (default 6).
+//     --tbs N --sim-minutes M  Fuzz-world trainer shape.
+//     --repro-dir DIR          Write minimized reproducers here.
+//     --no-shrink              Report raw failing packs unshrunk.
+//     --replay PATH            Re-run one committed reproducer pack's
+//                              oracles instead of fuzzing (exit 0 iff
+//                              it passes — the regression contract for
+//                              tests/scenarios/).
+//     --replay-dir DIR         Replay every *.json pack in DIR.
 //
 // Unknown or repeated flags are hard errors on every subcommand — a
 // typo'd sweep axis would otherwise silently run the wrong grid.
@@ -77,8 +107,11 @@
 //   hivesim sweep --fleets "lambda:2" --models suitability
 //     --tbs 8192,16384,32768 --hours 1 --threads 8 --out /tmp/fig3
 
+#include <algorithm>
+#include <filesystem>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -93,10 +126,13 @@
 #include "core/report.h"
 #include "core/sweep.h"
 #include "core/sweep_runner.h"
+#include "faults/chaos.h"
+#include "fuzz/fuzz.h"
 #include "lint/lint.h"
 #include "net/profiler.h"
 #include "perfgate/perfgate.h"
 #include "net/profiles.h"
+#include "scenario/scenario.h"
 #include "sim/simulator.h"
 #include "telemetry/analysis.h"
 #include "telemetry/telemetry.h"
@@ -110,57 +146,10 @@ int Fail(const Status& status) {
   return 1;
 }
 
+// Fleet parsing lives in core/catalog.h now — the CLI, the sweep engine,
+// and the fuzzer's reproducer packs all share one "site:count" grammar.
 const std::map<std::string, net::SiteId>& SiteAliases() {
-  static const auto& aliases = *new std::map<std::string, net::SiteId>{
-      {"gc-us", net::kGcUs},     {"gc-eu", net::kGcEu},
-      {"gc-asia", net::kGcAsia}, {"gc-aus", net::kGcAus},
-      {"aws", net::kAwsUsWest},  {"azure", net::kAzureUsSouth},
-      {"lambda", net::kLambdaUsWest}, {"onprem", net::kOnPremEu},
-  };
-  return aliases;
-}
-
-Result<core::VmGroup> GroupFor(const std::string& site_alias, int count) {
-  auto it = SiteAliases().find(site_alias);
-  if (it == SiteAliases().end()) {
-    return Status::InvalidArgument(StrCat("unknown site '", site_alias,
-                                          "'; see `hivesim list`"));
-  }
-  switch (it->second) {
-    case net::kAwsUsWest:
-      return core::AwsT4s(count);
-    case net::kAzureUsSouth:
-      return core::AzureT4s(count);
-    case net::kLambdaUsWest:
-      return core::LambdaA10s(count);
-    case net::kOnPremEu:
-      return Status::InvalidArgument(
-          "on-prem machines are singletons; use the E/F series");
-    default:
-      return core::GcT4s(count, it->second);
-  }
-}
-
-Result<core::ClusterSpec> ParseFleetSpec(const std::string& spec) {
-  core::ClusterSpec cluster;
-  for (const std::string& part : StrSplit(spec, ',')) {
-    const auto fields = StrSplit(part, ':');
-    if (fields.size() != 2) {
-      return Status::InvalidArgument(
-          StrCat("bad group '", part, "', want site:count"));
-    }
-    const int count = std::atoi(fields[1].c_str());
-    if (count <= 0) {
-      return Status::InvalidArgument(StrCat("bad count in '", part, "'"));
-    }
-    core::VmGroup group;
-    HIVESIM_ASSIGN_OR_RETURN(group, GroupFor(fields[0], count));
-    cluster.groups.push_back(group);
-  }
-  if (cluster.groups.empty()) {
-    return Status::InvalidArgument("empty fleet spec");
-  }
-  return cluster;
+  return core::FleetSiteAliases();
 }
 
 Result<std::vector<core::NamedExperiment>> SeriesFor(
@@ -227,10 +216,41 @@ int WriteTelemetryOutputs(const FlagSet& flags) {
   return 0;
 }
 
+/// Runs one experiment with a scenario pack compiled against the fleet
+/// and armed; prints the chaos fingerprint (the replay handle, the same
+/// number sweep manifests record). Scenario runs get the sweep engine's
+/// chaos hardening so a scripted partition degrades instead of stalling
+/// the run.
+Result<core::ExperimentResult> RunWithScenario(
+    const core::ClusterSpec& cluster, core::ExperimentConfig config,
+    const scenario::ScenarioPack& pack, const std::string& label) {
+  config.averaging_round_timeout_sec = 120;
+  config.averaging_retry_base_sec = 1.0;
+  config.averaging_max_retries = 2;
+  std::unique_ptr<core::ExperimentWorld> world;
+  HIVESIM_ASSIGN_OR_RETURN(world, core::BuildExperimentWorld(cluster, config));
+  faults::ChaosSchedule schedule;
+  HIVESIM_ASSIGN_OR_RETURN(
+      schedule,
+      scenario::Compile(pack, core::FleetViewOf(world->cluster, world->topology),
+                        config.duration_sec));
+  faults::ChaosInjector injector(&world->sim, &world->topology,
+                                 world->network.get(), config.seed);
+  injector.AttachTrainer(world->trainer.get());
+  HIVESIM_RETURN_IF_ERROR(injector.Arm(schedule));
+  core::ExperimentResult result;
+  HIVESIM_ASSIGN_OR_RETURN(result, core::CompleteExperiment(*world, config));
+  std::cout << label << ": scenario " << pack.name << " fingerprint "
+            << StrFormat("%016llx", static_cast<unsigned long long>(
+                                        injector.TraceFingerprint()))
+            << "\n";
+  return result;
+}
+
 int CmdRun(const FlagSet& flags) {
   if (Status s = flags.CheckKnown({"series", "model", "tbs", "hours", "csv",
-                                   "json", "trace-out", "metrics-out",
-                                   "analysis-out"});
+                                   "json", "scenario", "trace-out",
+                                   "metrics-out", "analysis-out"});
       !s.ok()) {
     return Fail(s);
   }
@@ -243,6 +263,13 @@ int CmdRun(const FlagSet& flags) {
   if (!tbs.ok()) return Fail(tbs.status());
   auto hours = flags.GetDouble("hours", 2.0);
   if (!hours.ok()) return Fail(hours.status());
+  scenario::ScenarioPack pack;
+  const std::string scenario_path = flags.GetString("scenario", "");
+  if (!scenario_path.empty()) {
+    auto loaded = scenario::LoadScenarioFile(scenario_path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    pack = std::move(*loaded);
+  }
 
   core::ReportBuilder report(
       StrCat("series ", flags.GetString("series", "A"), " / ",
@@ -252,7 +279,11 @@ int CmdRun(const FlagSet& flags) {
     config.model = *model;
     config.target_batch_size = *tbs;
     config.duration_sec = *hours * kHour;
-    auto result = core::RunHivemindExperiment(experiment.cluster, config);
+    auto result =
+        scenario_path.empty()
+            ? core::RunHivemindExperiment(experiment.cluster, config)
+            : RunWithScenario(experiment.cluster, config, pack,
+                              experiment.name);
     if (!result.ok()) {
       std::cerr << experiment.name << ": " << result.status().ToString()
                 << "\n";
@@ -277,13 +308,13 @@ int CmdRun(const FlagSet& flags) {
 
 int CmdFleet(const FlagSet& flags) {
   if (Status s = flags.CheckKnown({"spec", "model", "tbs", "hours", "json",
-                                   "trace-out", "metrics-out",
+                                   "scenario", "trace-out", "metrics-out",
                                    "analysis-out"});
       !s.ok()) {
     return Fail(s);
   }
   EnableTelemetryIfRequested(flags);
-  auto cluster = ParseFleetSpec(flags.GetString("spec", "gc-us:8"));
+  auto cluster = core::ParseFleetSpec(flags.GetString("spec", "gc-us:8"));
   if (!cluster.ok()) return Fail(cluster.status());
   auto model = models::ParseModelId(flags.GetString("model", "CONV"));
   if (!model.ok()) return Fail(model.status());
@@ -296,7 +327,16 @@ int CmdFleet(const FlagSet& flags) {
   config.model = *model;
   config.target_batch_size = *tbs;
   config.duration_sec = *hours * kHour;
-  auto result = core::RunHivemindExperiment(*cluster, config);
+  const std::string scenario_path = flags.GetString("scenario", "");
+  Result<core::ExperimentResult> result = [&]() -> Result<core::ExperimentResult> {
+    if (scenario_path.empty()) {
+      return core::RunHivemindExperiment(*cluster, config);
+    }
+    scenario::ScenarioPack pack;
+    HIVESIM_ASSIGN_OR_RETURN(pack, scenario::LoadScenarioFile(scenario_path));
+    return RunWithScenario(*cluster, config, pack,
+                           flags.GetString("spec", "gc-us:8"));
+  }();
   if (!result.ok()) return Fail(result.status());
 
   core::ReportBuilder report(
@@ -400,8 +440,8 @@ Result<std::vector<int64_t>> ParseIntList(const std::string& text,
 
 int CmdSweep(const FlagSet& flags) {
   if (Status s = flags.CheckKnown({"series", "fleets", "models", "tbs",
-                                   "seeds", "chaos", "hours", "title",
-                                   "threads", "out", "telemetry"});
+                                   "seeds", "chaos", "scenarios", "hours",
+                                   "title", "threads", "out", "telemetry"});
       !s.ok()) {
     return Fail(s);
   }
@@ -422,7 +462,7 @@ int CmdSweep(const FlagSet& flags) {
   const std::string fleets = flags.GetString("fleets", "");
   if (!fleets.empty()) {
     for (const std::string& fleet_spec : StrSplit(fleets, ';')) {
-      auto cluster = ParseFleetSpec(fleet_spec);
+      auto cluster = core::ParseFleetSpec(fleet_spec);
       if (!cluster.ok()) return Fail(cluster.status());
       spec.clusters.push_back(core::NamedExperiment{fleet_spec, *cluster});
     }
@@ -458,6 +498,18 @@ int CmdSweep(const FlagSet& flags) {
     auto preset = core::ParseChaosPreset(name);
     if (!preset.ok()) return Fail(preset.status());
     spec.chaos.push_back(*preset);
+  }
+
+  // Scenario packs extend the chaos axis; each cell is labelled with the
+  // pack's own name.
+  const std::string scenario_paths = flags.GetString("scenarios", "");
+  if (!scenario_paths.empty()) {
+    for (const std::string& path : StrSplit(scenario_paths, ',')) {
+      auto pack = scenario::LoadScenarioFile(path);
+      if (!pack.ok()) return Fail(pack.status());
+      spec.scenarios.push_back(
+          core::ScenarioAxisEntry{pack->name, std::move(*pack)});
+    }
   }
 
   auto hours = flags.GetDouble("hours", 2.0);
@@ -608,9 +660,148 @@ int CmdPerfGate(const FlagSet& flags) {
   return report->failed ? 1 : 0;
 }
 
+int CmdScenario(const FlagSet& flags) {
+  if (Status s = flags.CheckKnown({"check", "canonicalize", "dump-builtin"});
+      !s.ok()) {
+    return Fail(s);
+  }
+  const std::string check = flags.GetString("check", "");
+  const std::string canonicalize = flags.GetString("canonicalize", "");
+  const std::string builtin = flags.GetString("dump-builtin", "");
+  const int modes = static_cast<int>(!check.empty()) +
+                    static_cast<int>(!canonicalize.empty()) +
+                    static_cast<int>(!builtin.empty());
+  if (modes != 1) {
+    return Fail(Status::InvalidArgument(
+        "scenario wants exactly one of --check PATH, --canonicalize PATH, "
+        "--dump-builtin NAME"));
+  }
+  if (!builtin.empty()) {
+    auto pack = scenario::BuiltinScenario(builtin);
+    if (!pack.ok()) return Fail(pack.status());
+    std::cout << scenario::ScenarioToJson(*pack) << "\n";
+    return 0;
+  }
+  auto pack = scenario::LoadScenarioFile(check.empty() ? canonicalize : check);
+  if (!pack.ok()) return Fail(pack.status());
+  if (!canonicalize.empty()) {
+    std::cout << scenario::ScenarioToJson(*pack) << "\n";
+    return 0;
+  }
+  std::cout << "ok: " << pack->name << " (" << pack->NumEvents()
+            << (pack->NumEvents() == 1 ? " event" : " events")
+            << (pack->repro.present
+                    ? StrCat(", reproducer for fleet ", pack->repro.fleet,
+                             ", oracle ", pack->repro.oracle)
+                    : "")
+            << ")\n";
+  return 0;
+}
+
+/// Replays reproducer packs: exit 0 iff every pack's oracle set passes.
+/// This is the regression contract for tests/scenarios/ — a committed
+/// reproducer documents a *fixed* bug, so it must replay clean.
+int ReplayPacks(const std::vector<std::string>& paths,
+                const fuzz::FuzzOptions& options) {
+  int failures = 0;
+  for (const std::string& path : paths) {
+    auto verdict = fuzz::ReplayScenarioFile(path, options);
+    if (!verdict.ok()) return Fail(verdict.status());
+    if (!verdict->ran) {
+      ++failures;
+      std::cout << path << ": rejected (" << verdict->detail << ")\n";
+    } else if (!verdict->ok) {
+      ++failures;
+      std::cout << path << ": FAIL oracle " << verdict->oracle << ": "
+                << verdict->detail << "\n";
+    } else {
+      std::cout << path << ": ok\n";
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int CmdFuzz(const FlagSet& flags) {
+  if (Status s = flags.CheckKnown({"seed", "runs", "budget-sec", "max-events",
+                                   "tbs", "sim-minutes", "repro-dir",
+                                   "no-shrink", "inject-ordering-bug",
+                                   "replay", "replay-dir"});
+      !s.ok()) {
+    return Fail(s);
+  }
+  fuzz::FuzzOptions options;
+  auto seed = flags.GetInt("seed", 1);
+  if (!seed.ok()) return Fail(seed.status());
+  options.seed = static_cast<uint64_t>(*seed);
+  auto runs = flags.GetInt("runs", 20);
+  if (!runs.ok()) return Fail(runs.status());
+  options.runs = *runs;
+  auto budget = flags.GetDouble("budget-sec", 0.0);
+  if (!budget.ok()) return Fail(budget.status());
+  options.budget_sec = *budget;
+  auto max_events = flags.GetInt("max-events", 6);
+  if (!max_events.ok()) return Fail(max_events.status());
+  options.max_events = *max_events;
+  auto tbs = flags.GetInt("tbs", 4096);
+  if (!tbs.ok()) return Fail(tbs.status());
+  options.target_batch_size = *tbs;
+  auto minutes = flags.GetDouble("sim-minutes", 30.0);
+  if (!minutes.ok()) return Fail(minutes.status());
+  options.sim_duration_sec = *minutes * 60.0;
+  options.repro_dir = flags.GetString("repro-dir", "");
+  options.shrink = !flags.GetBool("no-shrink", false);
+  options.inject_ordering_bug = flags.GetBool("inject-ordering-bug", false);
+
+  const std::string replay = flags.GetString("replay", "");
+  const std::string replay_dir = flags.GetString("replay-dir", "");
+  if (!replay.empty() || !replay_dir.empty()) {
+    std::vector<std::string> paths;
+    if (!replay.empty()) paths.push_back(replay);
+    if (!replay_dir.empty()) {
+      namespace fs = std::filesystem;
+      std::error_code ec;
+      for (const auto& entry : fs::directory_iterator(replay_dir, ec)) {
+        if (entry.path().extension() == ".json") {
+          paths.push_back(entry.path().string());
+        }
+      }
+      if (ec) {
+        return Fail(Status::IOError(
+            StrCat("cannot read ", replay_dir, ": ", ec.message())));
+      }
+      std::sort(paths.begin(), paths.end());
+    }
+    if (paths.empty()) {
+      std::cout << "no reproducer packs to replay in " << replay_dir << "\n";
+      return 0;
+    }
+    return ReplayPacks(paths, options);
+  }
+
+  auto result = fuzz::RunCampaign(options);
+  if (!result.ok()) return Fail(result.status());
+  std::cout << StrFormat(
+      "fuzz seed %llu: %d cases (%d ran, %d rejected), %d failure%s%s\n",
+      static_cast<unsigned long long>(options.seed), result->cases,
+      result->ran, result->rejected, result->failures,
+      result->failures == 1 ? "" : "s",
+      result->truncated ? " [truncated by --budget-sec]" : "");
+  for (size_t i = 0; i < result->failure_oracles.size(); ++i) {
+    std::cout << "  failure " << i + 1 << ": oracle "
+              << result->failure_oracles[i];
+    if (i < result->repro_files.size()) {
+      std::cout << " -> " << result->repro_files[i];
+    }
+    std::cout << "\n";
+  }
+  std::cout << StrFormat("campaign digest %016llx\n",
+                         static_cast<unsigned long long>(result->digest));
+  return result->failures == 0 ? 0 : 1;
+}
+
 int Usage() {
   std::cout << "usage: hivesim <list|run|fleet|advise|profile|sweep|"
-               "analyze|lint|perfgate> [--flags]\n"
+               "scenario|fuzz|analyze|lint|perfgate> [--flags]\n"
                "See the header of tools/hivesim_cli.cc for details.\n";
   return 2;
 }
@@ -628,6 +819,8 @@ int main(int argc, char** argv) {
   if (command == "advise") return CmdAdvise(flags);
   if (command == "profile") return CmdProfile(flags);
   if (command == "sweep") return CmdSweep(flags);
+  if (command == "scenario") return CmdScenario(flags);
+  if (command == "fuzz") return CmdFuzz(flags);
   if (command == "analyze") return CmdAnalyze(flags);
   if (command == "lint") return CmdLint(flags);
   if (command == "perfgate") return CmdPerfGate(flags);

@@ -48,6 +48,8 @@ struct LintConfig {
   std::vector<std::string> emitter_headers = {
       "common/json.h",
       "common/table_writer.h",
+      "fuzz/fuzz.h",
+      "scenario/scenario.h",
       "telemetry/analysis.h",
       "telemetry/round_model.h",
       "telemetry/telemetry.h",
@@ -70,7 +72,8 @@ struct LintConfig {
   /// transitive closure of this map, and the map itself must be acyclic.
   /// Layer order (see docs/STATIC_ANALYSIS.md):
   ///   common -> telemetry -> sim/compute -> net/models ->
-  ///   cloud/data/dht/collective/baselines -> hivemind -> faults -> core
+  ///   cloud/data/dht/collective/baselines -> hivemind -> faults ->
+  ///   scenario -> core -> fuzz
   std::map<std::string, std::set<std::string>> module_dag = {
       {"common", {}},
       {"telemetry", {"common"}},
@@ -87,9 +90,13 @@ struct LintConfig {
        {"common", "net", "models", "collective", "data", "dht", "telemetry"}},
       {"faults",
        {"common", "sim", "net", "cloud", "dht", "hivemind", "telemetry"}},
+      {"scenario", {"common", "net", "faults"}},
       {"core",
        {"common", "net", "cloud", "models", "hivemind", "baselines", "faults",
-        "telemetry"}},
+        "scenario", "telemetry"}},
+      {"fuzz",
+       {"common", "sim", "net", "models", "hivemind", "faults", "scenario",
+        "core", "telemetry"}},
   };
 
   /// CMake library prefix mapping module dirs to targets.
