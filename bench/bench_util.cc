@@ -1,6 +1,7 @@
 #include "bench_util.h"
 
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
 #include <cctype>
 #include <cmath>
@@ -138,6 +139,16 @@ class CollectingReporter : public benchmark::ConsoleReporter {
   std::map<std::string, double> ns_per_iter_;
 };
 
+/// Peak resident set size of this process in bytes (0 if unavailable).
+/// Linux reports ru_maxrss in kilobytes. Deliberately sampled after the
+/// benchmarks ran: the high-water mark then covers the largest world the
+/// binary built, which is the memory ceiling the ROADMAP tracks.
+uint64_t CurrentMaxRssBytes() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
 }  // namespace
 
 PerfJsonScope::PerfJsonScope(int* argc, char** argv, std::string area)
@@ -184,6 +195,7 @@ int PerfJsonScope::RunAndReport(int* argc, char** argv) {
     json.Key(key).Number(value);
   }
   json.EndObject();
+  json.Key("max_rss_bytes").Number(static_cast<double>(CurrentMaxRssBytes()));
   json.Key("schema").String("hivesim-bench/1");
   json.EndObject();
 

@@ -80,13 +80,16 @@ class TelemetryScope {
 ///   {"area":"<area>",
 ///    "benches":{"BM_Name/arg":{"ns_per_iter":<min across repetitions>}},
 ///    "checks":{"<key>":<value>},
+///    "max_rss_bytes":<process peak RSS after the run, getrusage>,
 ///    "schema":"hivesim-bench/1"}
 ///
 /// `hivesim perfgate` compares these artifacts against the committed
 /// baselines in bench/baselines/. Timings are compared with a relative
 /// threshold; checks must match exactly — they are the bench's
 /// determinism self-test values, so a drift there is a correctness
-/// regression, not noise. Without the flag everything behaves as before.
+/// regression, not noise. The peak RSS is the area's memory ceiling and
+/// is gated with its own (generous) relative threshold. Without the flag
+/// everything behaves as before.
 class PerfJsonScope {
  public:
   /// `area` names the artifact ("kernel_sim" -> BENCH_kernel_sim.json).

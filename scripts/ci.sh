@@ -21,7 +21,10 @@
 #      set, then the committed regression reproducers under
 #      tests/scenarios/ are replayed and must stay green
 #      (docs/SCENARIOS.md),
-#   8. the perf gate: the four gated bench binaries run with
+#   8. a perf smoke: BM_Fleet/1000 (bench_fleet) runs once, bounded, so
+#      a fleet-scale hang or determinism break surfaces before the full
+#      gate spends time on the other areas,
+#   9. the perf gate: the five gated bench binaries run with
 #      --bench-json (each self-checks determinism first and exits
 #      non-zero on divergence), then `hivesim perfgate` compares the
 #      fresh BENCH_<area>.json artifacts against the committed baselines
@@ -91,10 +94,18 @@ echo "=== fuzz soak: bounded chaos-fuzz campaign + regression replay ==="
   --sim-minutes 30 --max-events 8
 ./build/tools/hivesim fuzz --replay-dir tests/scenarios
 
+echo "=== perf smoke: BM_Fleet/1000 bounded sanity run ==="
+cmake --build --preset default -j "$(nproc)" --target bench_fleet
+# One bounded pass of the smallest fleet world: exercises the SoA solver
+# slabs and cohort dispatch end to end (the binary's determinism
+# self-check runs first and exits non-zero on divergence).
+./build/bench/bench_fleet --benchmark_filter='BM_Fleet/1000$' \
+  --benchmark_min_time=1x > /dev/null
+
 echo "=== perf gate: benches --bench-json vs bench/baselines ==="
 cmake --build --preset default -j "$(nproc)" \
   --target bench_kernel_net bench_kernel_sim bench_sec7_chaos \
-  bench_fig3_tbs_throughput hivesim
+  bench_fig3_tbs_throughput bench_fleet hivesim
 perfdir="$tmpdir/perf"
 mkdir -p "$perfdir"
 ./build/bench/bench_kernel_net --benchmark_min_time=0.1s \
@@ -105,6 +116,11 @@ mkdir -p "$perfdir"
   --bench-json="$perfdir/BENCH_chaos.json" > /dev/null
 ./build/bench/bench_fig3_tbs_throughput --benchmark_min_time=0.1s \
   --bench-json="$perfdir/BENCH_fig3.json" > /dev/null
+# The 100k-peer arg is the scalability headline, not a CI gate: gate on
+# the 1k/10k worlds so the stage stays bounded on shared runners.
+./build/bench/bench_fleet --benchmark_filter='BM_Fleet/(1000|10000)$' \
+  --benchmark_min_time=0.1s \
+  --bench-json="$perfdir/BENCH_fleet.json" > /dev/null
 if [[ "${HIVESIM_UPDATE_PERF_BASELINE:-0}" == "1" ]]; then
   ./build/tools/hivesim perfgate --current-dir="$perfdir" \
     --baseline-dir=bench/baselines --update

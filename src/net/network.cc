@@ -28,6 +28,50 @@ Network::Network(sim::Simulator* sim, const Topology* topology)
   node_peak_egress_.resize(topology_->num_nodes(), 0.0);
 }
 
+Network::FlowSlot Network::AllocFlowSlot() {
+  ++live_flows_;
+  if (!free_flow_slots_.empty()) {
+    const FlowSlot slot = free_flow_slots_.back();
+    free_flow_slots_.pop_back();
+    return slot;
+  }
+  const FlowSlot slot = static_cast<FlowSlot>(flow_slab_.size());
+  flow_slab_.emplace_back();
+  flow_mark_.push_back(0);
+  flow_comp_pos_.push_back(0);
+  return slot;
+}
+
+void Network::FreeFlowSlot(FlowSlot slot) {
+  Flow& flow = flow_slab_[slot];
+  flow.id = 0;
+  flow.on_complete = nullptr;
+  flow.has_completion_event = false;
+  flow.num_keys = 0;
+  free_flow_slots_.push_back(slot);
+  --live_flows_;
+}
+
+Network::ResSlot Network::AllocResSlot() {
+  if (!free_res_slots_.empty()) {
+    const ResSlot slot = free_res_slots_.back();
+    free_res_slots_.pop_back();
+    return slot;
+  }
+  const ResSlot slot = static_cast<ResSlot>(res_slab_.size());
+  res_slab_.emplace_back();
+  res_mark_.push_back(0);
+  res_comp_pos_.push_back(0);
+  return slot;
+}
+
+void Network::FreeResSlot(ResSlot slot) {
+  Resource& res = res_slab_[slot];
+  res.live = false;
+  res.flows.clear();  // Keeps capacity for the slot's next occupant.
+  free_res_slots_.push_back(slot);
+}
+
 Result<FlowId> Network::StartFlow(NodeId src, NodeId dst, double bytes,
                                   FlowCallback on_complete,
                                   FlowOptions options) {
@@ -76,6 +120,7 @@ Result<FlowId> Network::StartFlow(NodeId src, NodeId dst, double bytes,
   flow.started_sec = sim_->Now();
   flow.total_bytes = bytes;
   flow.remaining_bytes = bytes;
+  flow.rate_bps = 0;
   flow.on_complete = std::move(on_complete);
   flows_started_counter_.Add();
 
@@ -119,9 +164,11 @@ Result<FlowId> Network::StartFlow(NodeId src, NodeId dst, double bytes,
   }
   flow.num_keys = n;
 
-  auto [it, inserted] = flows_.emplace(id, std::move(flow));
-  AddFlowToResources(it->second, caps);
-  SolveComponent(it->second.keys, it->second.num_keys);
+  const FlowSlot slot = AllocFlowSlot();
+  flow_slab_[slot] = std::move(flow);
+  flow_index_.emplace(id, slot);
+  AddFlowToResources(slot, caps);
+  SolveComponent(flow_slab_[slot].keys, flow_slab_[slot].num_keys);
   return id;
 }
 
@@ -142,14 +189,15 @@ bool Network::CancelFlow(FlowId id) {
     latency_flows_.erase(lit);
     return true;
   }
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return false;
+  auto it = flow_index_.find(id);
+  if (it == flow_index_.end()) return false;
+  const FlowSlot slot = it->second;
   Progress();
-  if (it->second.has_completion_event) {
-    sim_->Cancel(it->second.completion_event);
+  Flow& flow = flow_slab_[slot];
+  if (flow.has_completion_event) {
+    sim_->Cancel(flow.completion_event);
   }
   if (telemetry::Enabled()) {
-    const Flow& flow = it->second;
     flows_cancelled_counter_.Add();
     telemetry::Instant(
         sim_->Now(), "net",
@@ -161,11 +209,12 @@ bool Network::CancelFlow(FlowId id) {
             topology_->site(flow.src_site).name.c_str(),
             topology_->site(flow.dst_site).name.c_str()));
   }
-  RemoveFlowFromResources(it->second);
+  RemoveFlowFromResources(slot);
   ResourceKey seed[3];
-  std::copy(it->second.keys, it->second.keys + it->second.num_keys, seed);
-  const int num_seed = it->second.num_keys;
-  flows_.erase(it);
+  std::copy(flow.keys, flow.keys + flow.num_keys, seed);
+  const int num_seed = flow.num_keys;
+  flow_index_.erase(it);
+  FreeFlowSlot(slot);
   SolveComponent(seed, num_seed);
   return true;
 }
@@ -199,35 +248,41 @@ void Network::Refresh() {
   Progress();
   // Topology paths may have changed (WAN degradation/recovery): re-read
   // every resource's capacity, then re-solve all components. Flows keep
-  // their per-flow stream caps by contract.
-  // hivesim-lint: allow(D3) reason=per-resource capacity refresh; each entry is updated independently so iteration order cannot affect any emitted byte
-  for (auto& [key, res] : resources_) {
-    switch (key.kind) {
+  // their per-flow stream caps by contract. Both passes walk the slabs in
+  // slot order — deterministic, and each capacity update is independent.
+  for (Resource& res : res_slab_) {
+    if (!res.live) continue;
+    switch (res.key.kind) {
       case ResourceKind::kEgress:
-        res.capacity_bps = topology_->EgressCap(static_cast<NodeId>(key.a));
+        res.capacity_bps =
+            topology_->EgressCap(static_cast<NodeId>(res.key.a));
         break;
       case ResourceKind::kIngress:
-        res.capacity_bps = topology_->IngressCap(static_cast<NodeId>(key.a));
+        res.capacity_bps =
+            topology_->IngressCap(static_cast<NodeId>(res.key.a));
         break;
       case ResourceKind::kPath: {
-        auto path = topology_->PathBetween(static_cast<SiteId>(key.a),
-                                           static_cast<SiteId>(key.b));
+        auto path = topology_->PathBetween(static_cast<SiteId>(res.key.a),
+                                           static_cast<SiteId>(res.key.b));
         res.capacity_bps = path.ok() ? path->bandwidth_bps : 0.0;
         break;
       }
     }
   }
   const uint64_t already_solved = solve_epoch_;
-  // hivesim-lint: allow(D3) reason=component re-solve; the water-filling solution of each connected component is independent of which member flow triggers it
-  for (auto& [id, flow] : flows_) {
-    if (flow.mark > already_solved) continue;  // Covered by a prior component.
+  for (FlowSlot slot = 0; slot < flow_slab_.size(); ++slot) {
+    const Flow& flow = flow_slab_[slot];
+    if (flow.id == 0) continue;
+    if (flow_mark_[slot] > already_solved) {
+      continue;  // Covered by a prior component.
+    }
     SolveComponent(flow.keys, flow.num_keys);
   }
 }
 
 double Network::FlowRate(FlowId id) const {
-  auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rate_bps;
+  auto it = flow_index_.find(id);
+  return it == flow_index_.end() ? 0.0 : flow_slab_[it->second].rate_bps;
 }
 
 void Network::Progress() {
@@ -235,8 +290,8 @@ void Network::Progress() {
   const double dt = now - last_update_;
   last_update_ = now;
   if (dt <= 0) return;
-  // hivesim-lint: allow(D3) reason=progress accounting; iteration order is a pure function of the container's insert/erase history, which identically seeded runs replay exactly
-  for (auto& [id, flow] : flows_) {
+  for (Flow& flow : flow_slab_) {
+    if (flow.id == 0) continue;
     const double moved = std::min(flow.remaining_bytes, flow.rate_bps * dt);
     if (moved > 0) {
       flow.remaining_bytes -= moved;
@@ -246,30 +301,40 @@ void Network::Progress() {
   }
 }
 
-void Network::AddFlowToResources(const Flow& flow, const double* caps) {
+void Network::AddFlowToResources(FlowSlot slot, const double* caps) {
+  Flow& flow = flow_slab_[slot];
   for (int i = 0; i < flow.num_keys; ++i) {
-    auto [it, inserted] = resources_.try_emplace(flow.keys[i]);
+    auto [it, inserted] = res_index_.try_emplace(flow.keys[i], 0);
     if (inserted) {
-      it->second.key = flow.keys[i];
-      it->second.capacity_bps = caps[i];
+      const ResSlot rs = AllocResSlot();
+      it->second = rs;
+      Resource& res = res_slab_[rs];
+      res.key = flow.keys[i];
+      res.capacity_bps = caps[i];
+      res.live = true;
     }
-    it->second.flows.push_back(flow.id);
+    const ResSlot rs = it->second;
+    res_slab_[rs].flows.push_back(slot);
+    flow.res_slots[i] = rs;
   }
 }
 
-void Network::RemoveFlowFromResources(const Flow& flow) {
+void Network::RemoveFlowFromResources(FlowSlot slot) {
+  const Flow& flow = flow_slab_[slot];
   for (int i = 0; i < flow.num_keys; ++i) {
-    auto it = resources_.find(flow.keys[i]);
-    if (it == resources_.end()) continue;
-    std::vector<FlowId>& users = it->second.flows;
+    const ResSlot rs = flow.res_slots[i];
+    std::vector<FlowSlot>& users = res_slab_[rs].flows;
     for (size_t j = 0; j < users.size(); ++j) {
-      if (users[j] == flow.id) {
+      if (users[j] == slot) {
         users[j] = users.back();
         users.pop_back();
         break;
       }
     }
-    if (users.empty()) resources_.erase(it);
+    if (users.empty()) {
+      res_index_.erase(flow.keys[i]);
+      FreeResSlot(rs);
+    }
   }
 }
 
@@ -278,112 +343,134 @@ void Network::SolveComponent(const ResourceKey* seed_keys,
   // --- Gather the dirty component: BFS over the bipartite flow/resource
   // sharing graph starting from the seed resources. Every flow of every
   // visited resource joins, so by closure a resource's unfrozen count is
-  // simply its user count.
+  // simply its user count. Only the seeds are hash lookups; the BFS walks
+  // slab indices (resource user lists and per-flow cached slots).
   const uint64_t epoch = ++solve_epoch_;
-  comp_flows_.clear();
-  comp_resources_.clear();
+  comp_flow_slots_.clear();
+  comp_res_slots_.clear();
   size_t scan = 0;
   for (int i = 0; i < num_seed_keys; ++i) {
-    auto it = resources_.find(seed_keys[i]);
-    if (it == resources_.end() || it->second.mark == epoch) continue;
-    it->second.mark = epoch;
-    comp_resources_.push_back(&it->second);
+    auto it = res_index_.find(seed_keys[i]);
+    if (it == res_index_.end() || res_mark_[it->second] == epoch) continue;
+    res_mark_[it->second] = epoch;
+    comp_res_slots_.push_back(it->second);
   }
-  while (scan < comp_resources_.size()) {
-    Resource* res = comp_resources_[scan++];
-    for (const FlowId fid : res->flows) {
-      Flow& flow = flows_.at(fid);
-      if (flow.mark == epoch) continue;
-      flow.mark = epoch;
-      comp_flows_.push_back(&flow);
+  while (scan < comp_res_slots_.size()) {
+    const ResSlot rs = comp_res_slots_[scan++];
+    for (const FlowSlot fs : res_slab_[rs].flows) {
+      if (flow_mark_[fs] == epoch) continue;
+      flow_mark_[fs] = epoch;
+      comp_flow_slots_.push_back(fs);
+      const Flow& flow = flow_slab_[fs];
       for (int i = 0; i < flow.num_keys; ++i) {
-        Resource& other = resources_.at(flow.keys[i]);
-        if (other.mark == epoch) continue;
-        other.mark = epoch;
-        comp_resources_.push_back(&other);
+        const ResSlot other = flow.res_slots[i];
+        if (res_mark_[other] == epoch) continue;
+        res_mark_[other] = epoch;
+        comp_res_slots_.push_back(other);
       }
     }
   }
-  if (comp_flows_.empty()) return;
+  if (comp_flow_slots_.empty()) return;
 
-  // --- Water-filling. All unfrozen flows always hold the same allocation
-  // (the water level L), so the progressive-filling round structure
-  // collapses: the binding per-flow cap each round is the smallest cap
-  // among unfrozen flows — a sorted-by-cap cursor instead of an O(F)
-  // scan — and cap-freezes are a prefix pop. Rounds still freeze at
-  // least one flow each, and resources are only touched while they have
-  // unfrozen users, so a solve is O(F log F + sum of active resource
-  // lists) instead of the old O(F^2) full-fleet iteration.
-  for (Resource* res : comp_resources_) {
-    res->remaining = res->capacity_bps;
-    res->unfrozen = static_cast<int>(res->flows.size());
-  }
-  for (Flow* flow : comp_flows_) {
-    flow->frozen = false;
-    flow->solved_rate = 0;
-  }
-  std::sort(comp_flows_.begin(), comp_flows_.end(),
-            [](const Flow* a, const Flow* b) {
-              if (a->stream_cap_bps != b->stream_cap_bps) {
-                return a->stream_cap_bps < b->stream_cap_bps;
+  // --- Water-filling over dense per-component arrays. All unfrozen flows
+  // always hold the same allocation (the water level L), so the
+  // progressive-filling round structure collapses: the binding per-flow
+  // cap each round is the smallest cap among unfrozen flows — a
+  // sorted-by-cap cursor instead of an O(F) scan — and cap-freezes are a
+  // prefix pop. Rounds still freeze at least one flow each, and resources
+  // are only touched while they have unfrozen users, so a solve is
+  // O(F log F + sum of active resource lists) instead of the old O(F^2)
+  // full-fleet iteration. The per-round state lives in parallel arrays
+  // (remaining/unfrozen per resource, cap/rate/frozen per flow) so the
+  // delta scan and the level update are contiguous, branch-light loops;
+  // the arithmetic is unchanged (see docs/PERFORMANCE.md).
+  std::sort(comp_flow_slots_.begin(), comp_flow_slots_.end(),
+            [this](FlowSlot a, FlowSlot b) {
+              const Flow& fa = flow_slab_[a];
+              const Flow& fb = flow_slab_[b];
+              if (fa.stream_cap_bps != fb.stream_cap_bps) {
+                return fa.stream_cap_bps < fb.stream_cap_bps;
               }
-              return a->id < b->id;  // Deterministic tie-break.
+              return fa.id < fb.id;  // Deterministic tie-break.
             });
 
-  const size_t num_flows = comp_flows_.size();
+  const size_t num_flows = comp_flow_slots_.size();
+  const size_t num_res = comp_res_slots_.size();
+  comp_flow_cap_.resize(num_flows);
+  comp_flow_rate_.assign(num_flows, 0.0);
+  comp_flow_frozen_.assign(num_flows, 0);
+  comp_res_remaining_.resize(num_res);
+  comp_res_unfrozen_.resize(num_res);
+  for (size_t i = 0; i < num_flows; ++i) {
+    const FlowSlot fs = comp_flow_slots_[i];
+    flow_comp_pos_[fs] = static_cast<uint32_t>(i);
+    comp_flow_cap_[i] = flow_slab_[fs].stream_cap_bps;
+  }
+  for (size_t j = 0; j < num_res; ++j) {
+    const ResSlot rs = comp_res_slots_[j];
+    res_comp_pos_[rs] = static_cast<uint32_t>(j);
+    comp_res_remaining_[j] = res_slab_[rs].capacity_bps;
+    // Small integer counts held as doubles: exact, and the level update
+    // multiplies without int->double conversion in the loop.
+    comp_res_unfrozen_[j] = static_cast<double>(res_slab_[rs].flows.size());
+  }
+
   size_t frozen_count = 0;
   size_t cap_cursor = 0;  // First unfrozen flow in cap order.
+  size_t active = num_res;  // Resource arrays are compacted in place.
   double level = 0.0;
-  std::vector<Resource*>& active = comp_resources_;  // Compacted in place.
 
-  const auto freeze_flow = [&](Flow* flow) {
-    flow->frozen = true;
-    flow->solved_rate = level;
+  // Freezing flow i at the current level removes it from every resource
+  // it uses. A compacted-away resource is never touched here: it had no
+  // unfrozen users left, and only unfrozen flows are frozen.
+  const auto freeze_flow = [&](size_t i) {
+    comp_flow_frozen_[i] = 1;
+    comp_flow_rate_[i] = level;
     ++frozen_count;
-    for (int i = 0; i < flow->num_keys; ++i) {
-      --resources_.at(flow->keys[i]).unfrozen;
+    const Flow& flow = flow_slab_[comp_flow_slots_[i]];
+    for (int k = 0; k < flow.num_keys; ++k) {
+      comp_res_unfrozen_[res_comp_pos_[flow.res_slots[k]]] -= 1.0;
     }
   };
 
   while (frozen_count < num_flows) {
     // The next freeze level: the tightest resource fair share or the
-    // smallest unfrozen per-flow cap, whichever binds first.
+    // smallest unfrozen per-flow cap, whichever binds first. Contiguous
+    // scan over the active prefix of the resource arrays.
     double delta = std::numeric_limits<double>::infinity();
-    for (Resource* res : active) {
-      if (res->unfrozen > 0) {
-        delta = std::min(delta, res->remaining / res->unfrozen);
-      }
+    for (size_t j = 0; j < active; ++j) {
+      const double u = comp_res_unfrozen_[j];
+      const double share = comp_res_remaining_[j] / u;
+      if (u > 0 && share < delta) delta = share;
     }
-    while (cap_cursor < num_flows && comp_flows_[cap_cursor]->frozen) {
+    while (cap_cursor < num_flows && comp_flow_frozen_[cap_cursor]) {
       ++cap_cursor;
     }
     if (cap_cursor < num_flows) {
-      delta = std::min(delta,
-                       comp_flows_[cap_cursor]->stream_cap_bps - level);
+      delta = std::min(delta, comp_flow_cap_[cap_cursor] - level);
     }
     if (!std::isfinite(delta) || delta < 0) delta = 0;
 
     level += delta;
-    for (Resource* res : active) {
-      res->remaining -= delta * res->unfrozen;
+    for (size_t j = 0; j < active; ++j) {
+      comp_res_remaining_[j] -= delta * comp_res_unfrozen_[j];
     }
 
     // Freeze flows that reached their cap (a prefix in cap order) or sit
     // on a drained resource.
     bool froze_any = false;
     for (size_t i = cap_cursor; i < num_flows; ++i) {
-      Flow* flow = comp_flows_[i];
-      if (flow->frozen) continue;
-      if (level < flow->stream_cap_bps - kEpsilonRate) break;
-      freeze_flow(flow);
+      if (comp_flow_frozen_[i]) continue;
+      if (level < comp_flow_cap_[i] - kEpsilonRate) break;
+      freeze_flow(i);
       froze_any = true;
     }
-    for (Resource* res : active) {
-      if (res->remaining > kEpsilonRate) continue;
-      for (const FlowId fid : res->flows) {
-        Flow& flow = flows_.at(fid);
-        if (flow.frozen) continue;
-        freeze_flow(&flow);
+    for (size_t j = 0; j < active; ++j) {
+      if (comp_res_remaining_[j] > kEpsilonRate) continue;
+      for (const FlowSlot fs : res_slab_[comp_res_slots_[j]].flows) {
+        const size_t i = flow_comp_pos_[fs];
+        if (comp_flow_frozen_[i]) continue;
+        freeze_flow(i);
         froze_any = true;
       }
     }
@@ -391,70 +478,80 @@ void Network::SolveComponent(const ResourceKey* seed_keys,
     if (!froze_any) {
       // Numerical safety valve: freeze everything at the current level.
       for (size_t i = 0; i < num_flows; ++i) {
-        Flow* flow = comp_flows_[i];
-        if (!flow->frozen) {
-          flow->frozen = true;
-          flow->solved_rate = level;
+        if (!comp_flow_frozen_[i]) {
+          comp_flow_frozen_[i] = 1;
+          comp_flow_rate_[i] = level;
           ++frozen_count;
         }
       }
       break;
     }
-    active.erase(std::remove_if(active.begin(), active.end(),
-                                [](const Resource* res) {
-                                  return res->unfrozen <= 0;
-                                }),
-                 active.end());
+    // Compact drained resources out of the active prefix, keeping the
+    // parallel arrays and the slot->position index in sync.
+    size_t w = 0;
+    for (size_t j = 0; j < active; ++j) {
+      if (comp_res_unfrozen_[j] <= 0) continue;
+      if (w != j) {
+        comp_res_slots_[w] = comp_res_slots_[j];
+        comp_res_remaining_[w] = comp_res_remaining_[j];
+        comp_res_unfrozen_[w] = comp_res_unfrozen_[j];
+        res_comp_pos_[comp_res_slots_[w]] = static_cast<uint32_t>(w);
+      }
+      ++w;
+    }
+    active = w;
   }
 
-  // --- Apply rates. A completion event is only touched when the flow's
-  // rate actually moved (epsilon-compared): unchanged flows progress
-  // linearly, so their already-scheduled deadline stays exact and the
-  // kernel sees no cancel/reschedule churn for them.
-  for (Flow* flow : comp_flows_) {
-    const double new_rate = flow->solved_rate;
+  // --- Apply rates in sorted order. A completion event is only touched
+  // when the flow's rate actually moved (epsilon-compared): unchanged
+  // flows progress linearly, so their already-scheduled deadline stays
+  // exact and the kernel sees no cancel/reschedule churn for them.
+  for (size_t i = 0; i < num_flows; ++i) {
+    const FlowSlot fs = comp_flow_slots_[i];
+    Flow& flow = flow_slab_[fs];
+    const double new_rate = comp_flow_rate_[i];
     const bool rate_changed =
-        std::fabs(new_rate - flow->rate_bps) > kEpsilonRate;
-    flow->rate_bps = new_rate;
-    if (flow->has_completion_event) {
+        std::fabs(new_rate - flow.rate_bps) > kEpsilonRate;
+    flow.rate_bps = new_rate;
+    if (flow.has_completion_event) {
       if (!rate_changed) continue;
-      sim_->Cancel(flow->completion_event);
-      flow->has_completion_event = false;
+      sim_->Cancel(flow.completion_event);
+      flow.has_completion_event = false;
     }
     if (new_rate > kEpsilonRate) {
-      const double eta = flow->remaining_bytes / new_rate;
-      const FlowId fid = flow->id;
-      flow->completion_event =
-          sim_->Schedule(eta, [this, fid] { OnFlowDeadline(fid); });
-      flow->has_completion_event = true;
+      const double eta = flow.remaining_bytes / new_rate;
+      const FlowId fid = flow.id;
+      flow.completion_event =
+          sim_->Schedule(eta, [this, fs, fid] { OnFlowDeadline(fs, fid); });
+      flow.has_completion_event = true;
     }
   }
 
   // --- Peak egress tracking, fresh sums per sender in the component
   // (senders outside it kept their rates, so their sums are unchanged).
   // Each sender's egress resource is summed once: the first flow to reach
-  // it un-marks it for the rest of this pass.
-  for (Flow* flow : comp_flows_) {
-    auto it = resources_.find(
-        ResourceKey{ResourceKind::kEgress, flow->src, 0});
-    if (it == resources_.end() || it->second.mark != epoch) continue;
-    it->second.mark = epoch - 1;  // Sum each sender once.
+  // it un-marks it for the rest of this pass. keys[0] is always the
+  // sender's egress NIC, so its cached slot serves directly.
+  for (size_t i = 0; i < num_flows; ++i) {
+    const Flow& flow = flow_slab_[comp_flow_slots_[i]];
+    const ResSlot rs = flow.res_slots[0];
+    if (res_mark_[rs] != epoch) continue;
+    res_mark_[rs] = epoch - 1;  // Sum each sender once.
     double rate = 0;
-    for (const FlowId fid : it->second.flows) {
-      rate += flows_.at(fid).rate_bps;
+    for (const FlowSlot fs : res_slab_[rs].flows) {
+      rate += flow_slab_[fs].rate_bps;
     }
-    if (node_peak_egress_.size() <= flow->src) {
-      node_peak_egress_.resize(flow->src + 1, 0.0);
+    if (node_peak_egress_.size() <= flow.src) {
+      node_peak_egress_.resize(flow.src + 1, 0.0);
     }
-    node_peak_egress_[flow->src] =
-        std::max(node_peak_egress_[flow->src], rate);
+    node_peak_egress_[flow.src] =
+        std::max(node_peak_egress_[flow.src], rate);
   }
 }
 
-void Network::OnFlowDeadline(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  Flow& flow = it->second;
+void Network::OnFlowDeadline(FlowSlot slot, FlowId id) {
+  if (slot >= flow_slab_.size() || flow_slab_[slot].id != id) return;
+  Flow& flow = flow_slab_[slot];
   flow.has_completion_event = false;
   Progress();
   // Done when the payload is delivered up to floating-point residue, or
@@ -467,7 +564,7 @@ void Network::OnFlowDeadline(FlowId id) {
   const bool clock_would_stall =
       std::isfinite(eta) && now + eta <= now;
   if (flow.remaining_bytes <= kEpsilonBytes || clock_would_stall) {
-    FinishFlow(id);
+    FinishFlow(slot);
   } else {
     // Sub-epsilon rate drift left residue; re-solving the component
     // schedules this flow a fresh deadline (its event already fired).
@@ -475,11 +572,10 @@ void Network::OnFlowDeadline(FlowId id) {
   }
 }
 
-void Network::FinishFlow(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
+void Network::FinishFlow(FlowSlot slot) {
+  Flow& flow = flow_slab_[slot];
+  if (flow.id == 0) return;
   if (telemetry::Enabled()) {
-    const Flow& flow = it->second;
     flows_completed_counter_.Add();
     // Zone identity rides in the span args so the critical-path analyzer
     // (telemetry/analysis.h) can attribute flow time to WAN links
@@ -491,12 +587,13 @@ void Network::FinishFlow(FlowId id) {
                   flow.total_bytes, topology_->site(flow.src_site).name.c_str(),
                   topology_->site(flow.dst_site).name.c_str()));
   }
-  FlowCallback cb = std::move(it->second.on_complete);
-  RemoveFlowFromResources(it->second);
+  FlowCallback cb = std::move(flow.on_complete);
+  RemoveFlowFromResources(slot);
   ResourceKey seed[3];
-  std::copy(it->second.keys, it->second.keys + it->second.num_keys, seed);
-  const int num_seed = it->second.num_keys;
-  flows_.erase(it);
+  std::copy(flow.keys, flow.keys + flow.num_keys, seed);
+  const int num_seed = flow.num_keys;
+  flow_index_.erase(flow.id);
+  FreeFlowSlot(slot);
   SolveComponent(seed, num_seed);
   if (cb) cb();
 }

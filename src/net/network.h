@@ -43,10 +43,20 @@ struct FlowOptions {
 /// The solver is incremental: each flow's resource keys are computed once
 /// at `StartFlow` and kept in a persistent resource table, so a flow
 /// arrival/removal only re-solves the *dirty component* — the flows
-/// transitively sharing a resource with the changed flow. Within a
-/// component, rates come from a sort-by-cap water-filling pass, and a
-/// flow's completion event is only rescheduled when its rate actually
-/// changed. See docs/PERFORMANCE.md for the invariants.
+/// transitively sharing a resource with the changed flow.
+///
+/// Storage is structure-of-arrays at fleet scale: flows and resources
+/// live in index-based slabs (`flow_slab_` / `res_slab_`, free-listed,
+/// never shrinking), resource user-lists hold slab indices, and each
+/// flow caches its resources' slab indices — the component BFS, the
+/// freeze bookkeeping, and the peak-egress sums are all direct array
+/// indexing with no hashed lookup. Within a component the water-filling
+/// rounds run over contiguous parallel arrays (`comp_res_remaining_`,
+/// `comp_res_unfrozen_`, `comp_flow_cap_`, ...), so the per-round
+/// `delta = min(remaining/unfrozen)` scan and the
+/// `remaining -= delta * unfrozen` update are branch-light loops the
+/// compiler can vectorize. The arithmetic is bit-identical to
+/// progressive filling; see docs/PERFORMANCE.md for the invariants.
 class Network {
  public:
   using FlowCallback = std::function<void()>;
@@ -91,7 +101,7 @@ class Network {
 
   /// Number of flows in flight (fair-share and latency-only).
   size_t active_flows() const {
-    return flows_.size() + latency_flows_.size();
+    return live_flows_ + latency_flows_.size();
   }
 
   // --- Traffic accounting (all cumulative since construction/reset) ---
@@ -134,8 +144,13 @@ class Network {
     }
   };
 
+  /// Index into `flow_slab_` / `res_slab_`. Slab entries never move, so
+  /// slots are stable for an entry's whole lifetime and safe to cache.
+  using FlowSlot = uint32_t;
+  using ResSlot = uint32_t;
+
   struct Flow {
-    FlowId id = 0;
+    FlowId id = 0;  // 0 marks a free slab slot.
     NodeId src = 0;
     NodeId dst = 0;
     SiteId src_site = 0;
@@ -149,26 +164,22 @@ class Network {
     sim::EventId completion_event = 0;
     bool has_completion_event = false;
     // Resource keys this flow contends on, fixed at StartFlow (NICs and,
-    // cross-site, the directed inter-site path).
+    // cross-site, the directed inter-site path), plus the resources'
+    // slab slots — valid as long as the flow lives, because a resource
+    // outlives its last user.
     ResourceKey keys[3];
+    ResSlot res_slots[3];
     int num_keys = 0;
-    // Solver scratch: component-visit mark and per-solve freeze state.
-    uint64_t mark = 0;
-    bool frozen = false;
-    double solved_rate = 0;
   };
 
   /// Persistent per-resource state: the capacity snapshot and the live
-  /// flows contending on it. Updated on flow add/remove; capacities are
-  /// re-read from the topology by `Refresh`.
+  /// flows contending on it (by flow slab slot). Updated on flow
+  /// add/remove; capacities are re-read from the topology by `Refresh`.
   struct Resource {
     ResourceKey key{ResourceKind::kEgress, 0, 0};
     double capacity_bps = 0;
-    std::vector<FlowId> flows;
-    // Solver scratch, valid only within one SolveComponent call.
-    uint64_t mark = 0;
-    double remaining = 0;
-    int unfrozen = 0;
+    bool live = false;  // False marks a free slab slot.
+    std::vector<FlowSlot> flows;
   };
 
   // A sub-epsilon transfer riding pure latency: no fair-share state, just
@@ -182,23 +193,36 @@ class Network {
     sim::EventId completion_event = 0;
   };
 
+  /// Takes a flow slab slot from the free list (growing the slab and its
+  /// parallel mark/position arrays together when empty).
+  FlowSlot AllocFlowSlot();
+  /// Clears the slot (id=0 releases the callback) and recycles it.
+  void FreeFlowSlot(FlowSlot slot);
+  ResSlot AllocResSlot();
+  void FreeResSlot(ResSlot slot);
+
   /// Advances all flows by (now - last_update_) at their current rates and
-  /// books the delivered bytes into the meters.
+  /// books the delivered bytes into the meters. Iterates the flow slab in
+  /// slot order — deterministic, replayed exactly by identically seeded
+  /// runs.
   void Progress();
-  /// Registers `flow` in the resource table, creating resources with the
-  /// given capacity snapshots on first use.
-  void AddFlowToResources(const Flow& flow, const double* caps);
-  /// Unregisters `flow`; resources left without users are dropped.
-  void RemoveFlowFromResources(const Flow& flow);
+  /// Registers the flow at `slot` in the resource table, creating
+  /// resources with the given capacity snapshots on first use, and caches
+  /// the resource slots on the flow.
+  void AddFlowToResources(FlowSlot slot, const double* caps);
+  /// Unregisters the flow at `slot`; resources left without users are
+  /// dropped.
+  void RemoveFlowFromResources(FlowSlot slot);
   /// Re-solves the max-min fair allocation for the connected component of
   /// flows reachable from `seed_keys` (flows transitively sharing a
   /// resource). Rates outside the component are untouched, and completion
   /// events inside it are only rescheduled when the flow's rate moved by
   /// more than epsilon.
   void SolveComponent(const ResourceKey* seed_keys, int num_seed_keys);
-  /// Fires when `id` is expected to finish.
-  void OnFlowDeadline(FlowId id);
-  void FinishFlow(FlowId id);
+  /// Fires when the flow occupying `slot` (verified against `id`) is
+  /// expected to finish.
+  void OnFlowDeadline(FlowSlot slot, FlowId id);
+  void FinishFlow(FlowSlot slot);
   /// Delivers a latency-only flow: meters its bytes and fires the callback.
   void FinishLatencyFlow(FlowId id);
   void MeterBytes(NodeId src, NodeId dst, double bytes);
@@ -212,14 +236,42 @@ class Network {
   const Topology* topology_;
   FlowId next_flow_id_ = 1;
   double last_update_ = 0.0;
-  std::unordered_map<FlowId, Flow> flows_;
-  std::unordered_map<FlowId, LatencyFlow> latency_flows_;
-  std::unordered_map<ResourceKey, Resource, ResourceKeyHash> resources_;
+
+  // --- SoA slabs -------------------------------------------------------
+  // Flows and resources live in flat slabs addressed by slot; the hash
+  // maps exist only at the API boundary (FlowId -> slot) and for resource
+  // creation (key -> slot). Hot paths never hash.
+  std::vector<Flow> flow_slab_;
+  std::vector<FlowSlot> free_flow_slots_;
+  size_t live_flows_ = 0;
+  std::vector<Resource> res_slab_;
+  std::vector<ResSlot> free_res_slots_;
+  std::unordered_map<FlowId, FlowSlot> flow_index_;
+  std::unordered_map<ResourceKey, ResSlot, ResourceKeyHash> res_index_;
+
+  // Slab-parallel solver bookkeeping: component-visit epochs and the
+  // slot's position in the current component's dense arrays. Kept out of
+  // the structs so the BFS touches tight arrays, not 100+-byte records.
+  std::vector<uint64_t> flow_mark_;
+  std::vector<uint32_t> flow_comp_pos_;
+  std::vector<uint64_t> res_mark_;
+  std::vector<uint32_t> res_comp_pos_;
   uint64_t solve_epoch_ = 0;
 
-  // Reused solver scratch (cleared per solve, capacity retained).
-  std::vector<Flow*> comp_flows_;
-  std::vector<Resource*> comp_resources_;
+  // Per-component SoA scratch (cleared per solve, capacity retained).
+  // Flow arrays are parallel and sorted by (stream cap, flow id);
+  // resource arrays are parallel and compacted in place as resources
+  // drain. `comp_res_unfrozen_` holds small integer counts as doubles so
+  // the water-level update multiplies without conversion.
+  std::vector<FlowSlot> comp_flow_slots_;
+  std::vector<double> comp_flow_cap_;
+  std::vector<double> comp_flow_rate_;
+  std::vector<uint8_t> comp_flow_frozen_;
+  std::vector<ResSlot> comp_res_slots_;
+  std::vector<double> comp_res_remaining_;
+  std::vector<double> comp_res_unfrozen_;
+
+  std::unordered_map<FlowId, LatencyFlow> latency_flows_;
 
   std::unordered_map<uint64_t, double> bytes_by_node_pair_;
   std::unordered_map<uint64_t, double> bytes_by_site_pair_;

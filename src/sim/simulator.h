@@ -59,7 +59,9 @@ class Simulator {
   /// Runs a single event. Returns false when the queue is empty.
   bool Step();
 
-  /// Runs until the event queue drains.
+  /// Runs until the event queue drains. Dispatches in same-timestamp
+  /// cohorts (see `FireCohort`); the observable fire order is identical
+  /// to repeated `Step()`.
   void Run();
 
   /// Runs events with timestamps <= `when`, then advances the clock to
@@ -101,18 +103,61 @@ class Simulator {
     uint32_t generation;
   };
 
-  /// Min-heap on (when, seq) with 4 children per node instead of the
-  /// binary layout std::priority_queue uses. A 4-ary heap halves the
-  /// tree height, and all four children sit in one-and-a-half cache
-  /// lines (QueueEntry is 24 bytes), so the sift-down that dominates
-  /// cancel/reschedule storms touches fewer lines per level. The
-  /// comparison key is a strict total order (seq breaks every `when`
-  /// tie), so any conforming heap pops the exact same sequence —
-  /// replacing the container cannot change replay order or goldens.
+  /// Two-tier event queue: a small 4-ary min-heap holding the *near
+  /// horizon* (every entry with `when <= near_bound_`) plus an unsorted
+  /// staging vector holding everything farther out (`when >
+  /// near_bound_`, strictly). Scheduling past the horizon — or into an
+  /// empty heap, where there is nothing to order against — is an O(1)
+  /// append: no sift, no heap growth, and a bulk load (schedule N, then
+  /// run) stages everything. The heap the pop path sifts through stays
+  /// window-sized instead of fleet-sized. When it drains, the next
+  /// `top()` lazily runs `Refill`: one scan of the staging vector picks
+  /// the next window bound from the observed key range (a pure function of queue
+  /// content, so replays see identical behavior), and migrates the
+  /// window into the heap — dropping entries whose slot generation went
+  /// stale while they staged, so mass-cancelled events never pay a heap
+  /// operation at all.
+  ///
+  /// Pop order is untouched by the split: whenever the heap is
+  /// non-empty (the only state in which the minimum is read), every
+  /// staged entry is strictly later than `near_bound_` and every heap
+  /// entry is at or before it, so the global (when, seq) minimum always
+  /// sits at the heap top, and same-`when` entries can never straddle
+  /// the two tiers — a refill migrates a `when` either entirely or not
+  /// at all. Any conforming queue pops the exact same sequence — replay
+  /// order and goldens cannot change.
+  ///
+  /// The heap itself is 4-ary instead of the binary layout
+  /// std::priority_queue uses: half the tree height, all four children
+  /// in one-and-a-half cache lines (QueueEntry is 24 bytes), hole-based
+  /// sifting with one copy per level.
   class EventHeap {
    public:
-    bool empty() const { return entries_.size() == 0; }
-    const QueueEntry& top() const { return entries_.front(); }
+    /// Wires up the slot pool so stale staged entries can be dropped at
+    /// migration time (vector address is stable even as it reallocates).
+    void BindSlots(const std::vector<Slot>* slots) { slots_ = slots; }
+    /// Non-const (like `top`): staging may hold only stale entries, and
+    /// deciding emptiness means refilling until one live entry reaches
+    /// the heap or both tiers drain. After a false return the minimum
+    /// is at the heap top.
+    bool empty() {
+      if (entries_.empty()) Refill();
+      return entries_.empty();
+    }
+    /// Valid whenever `empty()` just returned false. Non-const: the
+    /// refill is lazy (pushes into an empty heap stage unsorted), so
+    /// peeking the minimum may first migrate the next window into the
+    /// heap.
+    const QueueEntry& top() {
+      if (entries_.empty()) Refill();
+      return entries_.front();
+    }
+    /// Key of the minimum entry; callers peek this to detect
+    /// same-timestamp cohorts without copying the full entry.
+    double top_when() {
+      if (entries_.empty()) Refill();
+      return entries_.front().when;
+    }
     void push(const QueueEntry& entry);
     void pop();
 
@@ -122,8 +167,20 @@ class Simulator {
       if (a.when != b.when) return a.when < b.when;
       return a.seq < b.seq;
     }
+    /// Moves the next window of staged entries into the (empty) near
+    /// heap; loops until the heap is non-empty or staging is exhausted
+    /// (a window can evaporate entirely if every member went stale).
+    void Refill();
 
     std::vector<QueueEntry> entries_;
+    std::vector<QueueEntry> far_;  // Unsorted staging.
+    double near_bound_ = 0.0;      // Meaningless while both tiers empty.
+    // Staged key range, maintained incrementally by `push` and
+    // recomputed during the `Refill` partition pass; meaningless while
+    // `far_` is empty. Lets a refill pick its window in a single pass.
+    double far_min_ = 0.0;
+    double far_max_ = 0.0;
+    const std::vector<Slot>* slots_ = nullptr;
   };
 
   /// Takes a pool slot, stores `cb`, and returns the packed id.
@@ -134,6 +191,16 @@ class Simulator {
   /// Pops heap entries until one still matches its slot's generation.
   /// Returns false when the heap is exhausted.
   bool PopNextLive(QueueEntry* entry);
+  /// Pops the entire cohort of events sharing the next due timestamp in
+  /// one heap drain (seq order preserved — the heap pops the strict
+  /// (when, seq) total order) and fires them back-to-back: one clock
+  /// update and one dispatch loop per timestamp instead of per event.
+  /// Each member's generation is re-checked right before its callback
+  /// runs, so a cohort member cancelled by an earlier member is skipped
+  /// exactly as the stale-entry pop path would have skipped it. With
+  /// `bounded`, a cohort strictly past `bound` is left queued. Returns
+  /// the number of events fired (0 means nothing was due).
+  size_t FireCohort(double bound, bool bounded);
 
   double now_ = 0.0;
   uint64_t next_seq_ = 0;
@@ -142,6 +209,10 @@ class Simulator {
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
   EventHeap queue_;
+  // Recycled cohort buffer for FireCohort. Moved out for the duration of
+  // a dispatch, so a callback that re-enters the run loop gets a fresh
+  // (empty) buffer instead of clobbering the in-flight cohort.
+  std::vector<QueueEntry> cohort_scratch_;
 
   telemetry::CounterHandle scheduled_counter_{"sim.events_scheduled"};
   telemetry::CounterHandle cancelled_counter_{"sim.events_cancelled"};

@@ -268,6 +268,142 @@ TEST(NetSolverPropertyTest, RefreshAfterPathChangeMatchesOracle) {
   scenario.CheckRatesAgainstOracle();
 }
 
+// Fleet-scale oracle check: a single connected component of ten thousand
+// flows through the SoA slab path. Built in two phases so construction
+// stays cheap: 100 node-disjoint islands of 100 intra-site flows each
+// (every arrival re-solves only its island), then 99 cross-site bridge
+// flows chaining the islands — and the WAN paths they share — into one
+// component. The full-rebuild oracle then prices all ~10k flows at once.
+TEST(NetSolverPropertyTest, TenThousandFlowComponentMatchesOracle) {
+  sim::Simulator sim;
+  Topology topo = StandardWorld();
+  constexpr int kSets = 100;
+  constexpr int kNodesPerSet = 10;
+  constexpr int kFlowsPerSet = 100;
+  std::vector<std::vector<NodeId>> sets(kSets);
+  for (int c = 0; c < kSets; ++c) {
+    const SiteId site = static_cast<SiteId>(c) % topo.num_sites();
+    for (int i = 0; i < kNodesPerSet; ++i) {
+      sets[c].push_back(topo.AddNode(site, CloudVmNetConfig()));
+    }
+  }
+  Network network(&sim, &topo);
+  Rng rng(4242);
+
+  std::vector<OracleFlow> flows;
+  const auto start = [&](NodeId src, NodeId dst, const FlowOptions& options) {
+    // Effectively infinite payloads: nothing completes while the
+    // component is assembled, so the oracle sees every flow.
+    auto id = network.StartFlow(src, dst, 1e15, nullptr, options);
+    ASSERT_TRUE(id.ok());
+    flows.push_back(
+        OracleFlow{*id, src, dst, StreamCap(topo, src, dst, options)});
+  };
+  for (int c = 0; c < kSets; ++c) {
+    for (int f = 0; f < kFlowsPerSet; ++f) {
+      const size_t a =
+          static_cast<size_t>(rng.UniformInt(0, kNodesPerSet - 1));
+      size_t b = static_cast<size_t>(rng.UniformInt(0, kNodesPerSet - 1));
+      if (b == a) b = (a + 1) % kNodesPerSet;
+      FlowOptions options;
+      // A small palette of stream counts keeps the cap distribution
+      // clumpy: long equal-cap runs stress the sorted prefix freeze.
+      options.streams = 1 + (f % 4);
+      start(sets[c][a], sets[c][b], options);
+    }
+  }
+  for (int c = 0; c + 1 < kSets; ++c) {
+    FlowOptions options;
+    options.streams = 4;
+    // Consecutive islands sit on different sites (c and c+1 differ mod
+    // 8), so every bridge is a WAN flow sharing a path resource.
+    start(sets[c][0], sets[c + 1][0], options);
+  }
+  ASSERT_EQ(flows.size(), static_cast<size_t>(kSets * kFlowsPerSet) +
+                              static_cast<size_t>(kSets - 1));
+
+  const auto expected = OracleRates(topo, flows);
+  int mismatches = 0;
+  for (const OracleFlow& f : flows) {
+    const double got = network.FlowRate(f.id);
+    const double want = expected.at(f.id);
+    if (std::fabs(got - want) > std::max(1.0, want * 1e-6)) {
+      if (++mismatches <= 5) {
+        ADD_FAILURE() << "flow " << f.id << " src=" << f.src
+                      << " dst=" << f.dst << " cap=" << f.cap_bps
+                      << ": got " << got << " want " << want;
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+// Boundary regression for the sorted prefix freeze: the solver's round
+// loop pops cap-frozen flows with `if (level < cap - eps) break`, so a
+// run of *equal* caps must freeze together in one round — an early break
+// (or an off-by-epsilon comparison) would strand the tail of the run at
+// the wrong level. Exercised exactly at the coincidence point where the
+// shared resource drains in the same round the caps bind.
+TEST(NetSolverPropertyTest, EqualCapRunFreezesTogetherAtBoundary) {
+  sim::Simulator sim;
+  Topology topo = StandardWorld();
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 6; ++i) {
+    nodes.push_back(topo.AddNode(0, CloudVmNetConfig()));
+  }
+  Network network(&sim, &topo);
+  const double egress = topo.EgressCap(nodes[0]);
+  ASSERT_GT(egress, 0);
+
+  // Four flows out of one NIC to distinct receivers, every one app-capped
+  // at exactly a quarter of the NIC: the water level reaches the common
+  // cap in the same instant the NIC drains (4 * cap == capacity), firing
+  // the cap freeze and the drain freeze in the same round.
+  FlowOptions options;
+  options.app_rate_cap_bps = egress / 4;
+  std::vector<OracleFlow> flows;
+  for (int i = 0; i < 4; ++i) {
+    auto id = network.StartFlow(nodes[0], nodes[1 + i], 1e15, nullptr,
+                                options);
+    ASSERT_TRUE(id.ok());
+    flows.push_back(OracleFlow{*id, nodes[0], nodes[1 + i],
+                               StreamCap(topo, nodes[0], nodes[1 + i],
+                                         options)});
+  }
+  // The scenario only tests the boundary if the app cap is what binds.
+  for (const OracleFlow& f : flows) {
+    ASSERT_DOUBLE_EQ(f.cap_bps, egress / 4);
+  }
+
+  // Every member of the equal-cap run lands on the same water level —
+  // bit-identical, not merely close.
+  const double first = network.FlowRate(flows[0].id);
+  EXPECT_NEAR(first, egress / 4, std::max(1.0, egress * 1e-9));
+  for (const OracleFlow& f : flows) {
+    EXPECT_EQ(network.FlowRate(f.id), first)
+        << "equal-cap flow " << f.id << " stranded at a different level";
+  }
+  const auto expected = OracleRates(topo, flows);
+  for (const OracleFlow& f : flows) {
+    EXPECT_NEAR(network.FlowRate(f.id), expected.at(f.id),
+                std::max(1.0, expected.at(f.id) * 1e-6));
+  }
+
+  // A fifth, uncapped flow joins: the four stay pinned at their cap and
+  // the newcomer absorbs the slack fair share.
+  auto big = network.StartFlow(nodes[0], nodes[5], 1e15, nullptr);
+  ASSERT_TRUE(big.ok());
+  flows.push_back(OracleFlow{*big, nodes[0], nodes[5],
+                             StreamCap(topo, nodes[0], nodes[5],
+                                       FlowOptions())});
+  const auto with_big = OracleRates(topo, flows);
+  for (const OracleFlow& f : flows) {
+    EXPECT_NEAR(network.FlowRate(f.id), with_big.at(f.id),
+                std::max(1.0, with_big.at(f.id) * 1e-6))
+        << "flow " << f.id;
+  }
+}
+
 // Completion-order log of one seeded churn run; two runs must match
 // exactly (bit-identical times, identical order).
 std::vector<std::pair<double, uint64_t>> RunSeededChurn(uint64_t seed) {

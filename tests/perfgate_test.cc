@@ -258,6 +258,152 @@ TEST_F(PerfGateTest, UpdateRewritesBaselineAndPreservesThresholds) {
   EXPECT_FALSE(compare->failed);
 }
 
+TEST_F(PerfGateTest, MissingBaselineFileIsHardErrorByDefault) {
+  WriteArea(current_dir_, "fleet",
+            R"({"area":"fleet","benches":{"BM_F/1":{"ns_per_iter":1000}}})");
+  auto report = perfgate::Run(Options("fleet"));
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(PerfGateTest, AllowNewAreaReportsMissingBaselineAsNewRows) {
+  // Landing a brand-new bench area (current artifact exists, no baseline
+  // committed yet) must be a warning, not a wedge: the gate reports every
+  // current value as "new" and keeps gating the other areas.
+  WriteArea(baseline_dir_, "a",
+            R"({"area":"a","benches":{"BM_X/1":{"ns_per_iter":1000}}})");
+  WriteArea(current_dir_, "a",
+            R"({"area":"a","benches":{"BM_X/1":{"ns_per_iter":1000}}})");
+  WriteArea(current_dir_, "fleet",
+            R"({"area":"fleet","benches":{"BM_F/1":{"ns_per_iter":1000},)"
+            R"("BM_F/2":{"ns_per_iter":2000}},"max_rss_bytes":1048576})");
+  GateOptions options = Options("a");
+  options.areas = {"a", "fleet"};
+  options.allow_new_area = true;
+  auto report = perfgate::Run(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->failed);
+  EXPECT_EQ(report->new_benches, 3);  // Two benches + the RSS ceiling.
+  int fleet_new = 0;
+  for (const GateRow& row : report->rows) {
+    if (row.area == "fleet") {
+      EXPECT_EQ(row.status, RowStatus::kNew);
+      ++fleet_new;
+    }
+  }
+  EXPECT_EQ(fleet_new, 3);
+}
+
+TEST_F(PerfGateTest, AllowNewAreaDoesNotMaskMalformedBaseline) {
+  // The escape hatch is for a baseline that does not exist; one that
+  // exists but cannot be parsed is corruption and must stay fatal.
+  WriteArea(baseline_dir_, "a", "{\"area\":\"a\",");
+  WriteArea(current_dir_, "a",
+            R"({"area":"a","benches":{"BM_X/1":{"ns_per_iter":1000}}})");
+  GateOptions options = Options("a");
+  options.allow_new_area = true;
+  auto report = perfgate::Run(options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PerfGateTest, AllowNewAreaStillRequiresCurrentArtifact) {
+  // A baseline without a current artifact is lost coverage even with the
+  // new-area escape hatch on.
+  WriteArea(baseline_dir_, "a",
+            R"({"area":"a","benches":{"BM_X/1":{"ns_per_iter":1000}}})");
+  GateOptions options = Options("a");
+  options.allow_new_area = true;
+  auto report = perfgate::Run(options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(PerfGateTest, RssWithinGenerousThresholdPasses) {
+  WriteArea(baseline_dir_, "a",
+            R"({"area":"a","benches":{"BM_X/1":{"ns_per_iter":1000}},)"
+            R"("max_rss_bytes":100000000})");
+  WriteArea(current_dir_, "a",
+            R"({"area":"a","benches":{"BM_X/1":{"ns_per_iter":1000}},)"
+            R"("max_rss_bytes":140000000})");
+  auto report = perfgate::Run(Options("a"));  // +40% < default 50%.
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->failed);
+  ASSERT_EQ(report->rows.size(), 2u);
+  EXPECT_EQ(report->rows[1].name, "max_rss_bytes");
+  EXPECT_EQ(report->rows[1].status, RowStatus::kOk);
+  EXPECT_DOUBLE_EQ(report->rows[1].threshold, 0.5);
+}
+
+TEST_F(PerfGateTest, RssBlowupBeyondThresholdFails) {
+  WriteArea(baseline_dir_, "a",
+            R"({"area":"a","benches":{"BM_X/1":{"ns_per_iter":1000}},)"
+            R"("max_rss_bytes":100000000})");
+  WriteArea(current_dir_, "a",
+            R"({"area":"a","benches":{"BM_X/1":{"ns_per_iter":1000}},)"
+            R"("max_rss_bytes":200000000})");
+  auto report = perfgate::Run(Options("a"));  // +100% > 50%.
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->failed);
+  EXPECT_EQ(report->regressions, 1);
+  const std::string table = FormatReport(*report);
+  EXPECT_NE(table.find("max_rss_bytes"), std::string::npos);
+  EXPECT_NE(table.find("REGRESSED"), std::string::npos);
+}
+
+TEST_F(PerfGateTest, RssThresholdOverrideFromBaselineWins) {
+  WriteArea(baseline_dir_, "a",
+            R"({"area":"a","benches":{"BM_X/1":{"ns_per_iter":1000}},)"
+            R"("max_rss_bytes":100000000,)"
+            R"("thresholds":{"max_rss_bytes":1.5}})");
+  WriteArea(current_dir_, "a",
+            R"({"area":"a","benches":{"BM_X/1":{"ns_per_iter":1000}},)"
+            R"("max_rss_bytes":200000000})");
+  auto report = perfgate::Run(Options("a"));  // +100% < override 150%.
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->failed);
+}
+
+TEST_F(PerfGateTest, RssOnlyInCurrentIsNewRssOnlyInBaselineIsMissing) {
+  WriteArea(baseline_dir_, "a",
+            R"({"area":"a","benches":{"BM_X/1":{"ns_per_iter":1000}}})");
+  WriteArea(current_dir_, "a",
+            R"({"area":"a","benches":{"BM_X/1":{"ns_per_iter":1000}},)"
+            R"("max_rss_bytes":100000000})");
+  auto fresh = perfgate::Run(Options("a"));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->failed);  // First recording: informational.
+  EXPECT_EQ(fresh->new_benches, 1);
+
+  WriteArea(baseline_dir_, "a",
+            R"({"area":"a","benches":{"BM_X/1":{"ns_per_iter":1000}},)"
+            R"("max_rss_bytes":100000000})");
+  WriteArea(current_dir_, "a",
+            R"({"area":"a","benches":{"BM_X/1":{"ns_per_iter":1000}}})");
+  auto lost = perfgate::Run(Options("a"));
+  ASSERT_TRUE(lost.ok());
+  EXPECT_TRUE(lost->failed);  // Stopped recording: lost coverage.
+  EXPECT_EQ(lost->missing, 1);
+}
+
+TEST_F(PerfGateTest, UpdateCarriesRssIntoBaseline) {
+  WriteArea(current_dir_, "a",
+            R"({"area":"a","benches":{"BM_X/1":{"ns_per_iter":1000}},)"
+            R"("max_rss_bytes":123456768})");
+  GateOptions options = Options("a");
+  options.update = true;
+  ASSERT_TRUE(perfgate::Run(options).ok());
+  auto parsed = ParseJsonFile(baseline_dir_ + "/BENCH_a.json");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* rss = parsed->Find("max_rss_bytes");
+  ASSERT_NE(rss, nullptr);
+  EXPECT_DOUBLE_EQ(rss->number_value, 123456768);
+  options.update = false;
+  auto compare = perfgate::Run(options);
+  ASSERT_TRUE(compare.ok());
+  EXPECT_FALSE(compare->failed);
+}
+
 TEST_F(PerfGateTest, UpdateIntoEmptyBaselineDirBootstraps) {
   WriteArea(current_dir_, "a",
             R"({"area":"a","benches":{"BM_X/1":{"ns_per_iter":1000}},)"

@@ -49,10 +49,12 @@
 //                              (docs/PERFORMANCE.md).
 //     --current-dir DIR        Freshly generated BENCH_<area>.json.
 //     --baseline-dir DIR       Baselines (default bench/baselines).
-//     --areas a,b              Areas to gate (default chaos,fig3,
+//     --areas a,b              Areas to gate (default chaos,fig3,fleet,
 //                              kernel_net,kernel_sim).
 //     --threshold F            Allowed relative slowdown (default 0.25).
 //     --update                 Rewrite baselines from --current-dir.
+//     --allow-new-area         An area with no baseline file yet is
+//                              reported as new (warn) instead of erroring.
 //   sweep                      Run a whole figure grid concurrently.
 //     --series A,B             Cluster axis from named series, and/or
 //     --fleets "lambda:2;gc-us:4"   custom fleets (';'-separated specs).
@@ -627,8 +629,8 @@ int CmdLint(const FlagSet& flags) {
 }
 
 int CmdPerfGate(const FlagSet& flags) {
-  if (Status s = flags.CheckKnown(
-          {"baseline-dir", "current-dir", "areas", "threshold", "update"});
+  if (Status s = flags.CheckKnown({"baseline-dir", "current-dir", "areas",
+                                   "threshold", "update", "allow-new-area"});
       !s.ok()) {
     return Fail(s);
   }
@@ -648,6 +650,7 @@ int CmdPerfGate(const FlagSet& flags) {
   }
   options.default_threshold = *threshold;
   options.update = flags.GetBool("update", false);
+  options.allow_new_area = flags.GetBool("allow-new-area", false);
 
   auto report = perfgate::Run(options);
   if (!report.ok()) return Fail(report.status());

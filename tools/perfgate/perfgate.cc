@@ -19,7 +19,11 @@ struct AreaDoc {
   std::map<std::string, double> benches;     ///< name -> ns_per_iter.
   std::map<std::string, double> checks;      ///< key -> exact value.
   std::map<std::string, double> thresholds;  ///< Optional, baseline only.
+  double max_rss_bytes = 0;                  ///< 0 = not recorded.
 };
+
+/// The reserved row/threshold name for the per-area memory ceiling.
+constexpr const char* kRssKey = "max_rss_bytes";
 
 std::string AreaPath(const std::string& dir, const std::string& area) {
   return StrCat(dir, "/BENCH_", area, ".json");
@@ -70,6 +74,14 @@ Result<AreaDoc> LoadArea(const std::string& dir, const std::string& area) {
     }
   }
 
+  if (const JsonValue* rss = root.Find(kRssKey)) {
+    if (!rss->is_number() || rss->number_value < 0) {
+      return Status::InvalidArgument(
+          StrCat(path, ": \"", kRssKey, "\" is not a non-negative number"));
+    }
+    doc.max_rss_bytes = rss->number_value;
+  }
+
   if (const JsonValue* thresholds = root.Find("thresholds")) {
     if (!thresholds->is_object()) {
       return Status::InvalidArgument(path +
@@ -100,6 +112,9 @@ Status WriteBaseline(const std::string& dir, const AreaDoc& doc) {
     json.Key(key).Number(value);
   }
   json.EndObject();
+  if (doc.max_rss_bytes > 0) {
+    json.Key(kRssKey).Number(doc.max_rss_bytes);
+  }
   json.Key("schema").String("hivesim-bench/1");
   if (!doc.thresholds.empty()) {
     json.Key("thresholds").BeginObject();
@@ -119,7 +134,8 @@ Status WriteBaseline(const std::string& dir, const AreaDoc& doc) {
 }
 
 void CompareArea(const AreaDoc& baseline, const AreaDoc& current,
-                 double default_threshold, GateReport& report) {
+                 double default_threshold, double rss_threshold,
+                 GateReport& report) {
   // Benchmarks: relative-threshold comparison. Walk the union of both
   // sorted maps so every bench lands in exactly one row.
   auto b = baseline.benches.begin();
@@ -160,6 +176,41 @@ void CompareArea(const AreaDoc& baseline, const AreaDoc& current,
       }
       ++b;
       ++c;
+    }
+    report.rows.push_back(row);
+  }
+
+  // Memory ceiling: relative comparison like a timing, but against the
+  // (generous) RSS threshold. A baseline without a recorded ceiling makes
+  // the current value informational (new); a baseline *with* one that the
+  // current run stopped reporting is lost coverage, like a missing bench.
+  if (baseline.max_rss_bytes > 0 || current.max_rss_bytes > 0) {
+    GateRow row;
+    row.area = current.area;
+    row.name = kRssKey;
+    row.baseline = baseline.max_rss_bytes;
+    row.current = current.max_rss_bytes;
+    if (baseline.max_rss_bytes <= 0) {
+      row.status = RowStatus::kNew;
+      ++report.new_benches;
+    } else if (current.max_rss_bytes <= 0) {
+      row.status = RowStatus::kMissing;
+      ++report.missing;
+    } else {
+      const auto override_it = baseline.thresholds.find(kRssKey);
+      row.threshold = override_it != baseline.thresholds.end()
+                          ? override_it->second
+                          : rss_threshold;
+      const double relative = row.current / row.baseline - 1.0;
+      if (relative > row.threshold) {
+        row.status = RowStatus::kRegressed;
+        ++report.regressions;
+      } else if (relative < -row.threshold) {
+        row.status = RowStatus::kImproved;
+        ++report.improvements;
+      } else {
+        row.status = RowStatus::kOk;
+      }
     }
     report.rows.push_back(row);
   }
@@ -241,8 +292,38 @@ Result<GateReport> Run(const GateOptions& options) {
     }
 
     Result<AreaDoc> baseline = LoadArea(options.baseline_dir, area);
-    if (!baseline.ok()) return baseline.status();
-    CompareArea(*baseline, *current, options.default_threshold, report);
+    if (!baseline.ok()) {
+      // kIOError means the baseline file does not exist (a parse failure
+      // comes back as kInvalidArgument and stays fatal either way). With
+      // --allow-new-area that is a brand-new bench area: surface every
+      // current value as a "new" row so the report shows what will be
+      // recorded, and keep gating the remaining areas.
+      if (options.allow_new_area &&
+          baseline.status().code() == StatusCode::kIOError) {
+        for (const auto& [name, ns] : current->benches) {
+          GateRow row;
+          row.area = area;
+          row.name = name;
+          row.current = ns;
+          row.status = RowStatus::kNew;
+          ++report.new_benches;
+          report.rows.push_back(row);
+        }
+        if (current->max_rss_bytes > 0) {
+          GateRow row;
+          row.area = area;
+          row.name = kRssKey;
+          row.current = current->max_rss_bytes;
+          row.status = RowStatus::kNew;
+          ++report.new_benches;
+          report.rows.push_back(row);
+        }
+        continue;
+      }
+      return baseline.status();
+    }
+    CompareArea(*baseline, *current, options.default_threshold,
+                options.rss_threshold, report);
   }
   report.failed = report.regressions > 0 || report.missing > 0 ||
                   report.check_mismatches > 0;

@@ -18,23 +18,38 @@ namespace hivesim::perfgate {
 ///   BENCH_<area>.json = {"area":"<area>",
 ///                        "benches":{"BM_X/4096":{"ns_per_iter":N}},
 ///                        "checks":{"storm_fired":13333},
+///                        "max_rss_bytes":123456789,
 ///                        "schema":"hivesim-bench/1"}
 /// A baseline may additionally carry {"thresholds":{"BM_X/4096":0.60}}
 /// to widen the gate for a known-noisy bench; `Run` with `update=true`
-/// preserves that object when rewriting the baseline.
+/// preserves that object when rewriting the baseline. `max_rss_bytes` is
+/// the area's memory ceiling (process peak RSS after the bench run); it
+/// is gated like a timing but against `rss_threshold` — a deliberately
+/// generous limit, since an allocator or environment change can move RSS
+/// without any algorithmic regression. A baseline may still pin it
+/// tighter (or looser) with a "max_rss_bytes" entry in "thresholds".
 
 struct GateOptions {
   std::string baseline_dir;  ///< Committed baselines (bench/baselines).
   std::string current_dir;   ///< Freshly generated artifacts.
   /// Areas to gate; each maps to one BENCH_<area>.json in both dirs.
-  std::vector<std::string> areas = {"chaos", "fig3", "kernel_net",
+  std::vector<std::string> areas = {"chaos", "fig3", "fleet", "kernel_net",
                                     "kernel_sim"};
   /// Allowed relative slowdown (0.25 = current may be up to 25% slower
   /// than baseline) unless the baseline overrides it per bench.
   double default_threshold = 0.25;
+  /// Allowed relative growth of an area's peak RSS.
+  double rss_threshold = 0.5;
   /// Rewrite the baselines from the current artifacts instead of
   /// comparing (the `--update-golden` analogue for perf numbers).
   bool update = false;
+  /// With this set, an area whose baseline file does not exist yet is
+  /// reported as all-new rows (warn) instead of a hard error — the escape
+  /// hatch for landing a brand-new bench area in the same change that
+  /// records its first baseline. A baseline file that exists but fails to
+  /// parse is still a hard error, as is a missing *current* artifact
+  /// (that is lost coverage, not a new area).
+  bool allow_new_area = false;
 };
 
 enum class RowStatus {
