@@ -3,14 +3,21 @@
 # exactly as CI runs it:
 #   1. RelWithDebInfo build (preset "default", -Werror) + full ctest,
 #   2. static analysis, before any sanitizer spend: `hivesim lint`
-#      (determinism & layering rules D1-D4/L1/P1 over every TU in
-#      compile_commands.json; docs/STATIC_ANALYSIS.md) and clang-tidy
-#      with the committed .clang-tidy profile (skipped with a notice
-#      when clang-tidy is not installed),
+#      (determinism, concurrency & layering rules D1-D5/C1/S1/L1/P1
+#      over the cross-TU call graph of every TU in
+#      compile_commands.json; docs/STATIC_ANALYSIS.md), publishing a
+#      machine-readable --json artifact and self-benchmarking its own
+#      wall clock against a hard budget, then clang-tidy with the
+#      committed .clang-tidy profile (skipped with a notice when
+#      clang-tidy is not installed),
 #   3. ASan/UBSan build (preset "asan", -Werror) + full ctest,
 #   4. ThreadSanitizer build (preset "tsan", -Werror) running the
 #      concurrency surface — sweep_test (thread pool, parallel cells,
 #      aggregator) and telemetry_test (thread-local sink routing),
+#      (every -Werror configure also promotes Clang's -Wthread-safety
+#      over the annotations in common/thread_annotations.h; on GCC the
+#      macros expand to nothing and `hivesim lint` rule C1 still gates
+#      the annotation coverage),
 #   5. a smoke run of the telemetry pipeline (trace_tour -> trace JSON ->
 #      scripts/trace_summary.py) so the observability path stays healthy,
 #   6. an analyze smoke: `hivesim analyze` over two identically seeded
@@ -36,14 +43,31 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
 echo "=== tier-1: configure + build + test (preset: default, -Werror) ==="
 cmake --preset default -DHIVESIM_WERROR=ON
 cmake --build --preset default -j "$(nproc)"
 ctest --preset default -j "$(nproc)"
 
-echo "=== lint: hivesim lint (D1-D4, L1, P1) ==="
+echo "=== lint: hivesim lint (D1-D5, C1, S1, L1, P1) ==="
+# The analyzer lexes and call-graph-links every TU, so it is itself a
+# perf-sensitive tool: fail the stage if the full-repo run blows its
+# wall-clock budget (it takes well under a second today — the budget
+# only catches an accidental quadratic blowup, not machine noise).
+lint_budget_sec=30
+lint_start="$(date +%s)"
 ./build/tools/hivesim lint \
-  --root . --compile-commands build/compile_commands.json
+  --root . --compile-commands build/compile_commands.json \
+  --json="$tmpdir/lint.json"
+lint_secs="$(( $(date +%s) - lint_start ))"
+echo "lint artifact: $tmpdir/lint.json (hivesim-lint/1, ${lint_secs}s)"
+if (( lint_secs > lint_budget_sec )); then
+  echo "hivesim lint took ${lint_secs}s (budget ${lint_budget_sec}s):" >&2
+  echo "the analyzer itself has a performance regression" >&2
+  exit 1
+fi
 
 echo "=== lint: clang-tidy (.clang-tidy profile) ==="
 if command -v run-clang-tidy > /dev/null 2>&1; then
@@ -68,8 +92,6 @@ cmake --build --preset tsan -j "$(nproc)" --target sweep_test telemetry_test
 ctest --preset tsan -j "$(nproc)" --tests-regex 'Sweep|ThreadPool|Telemetry'
 
 echo "=== telemetry smoke: trace_tour -> trace_summary.py ==="
-tmpdir="$(mktemp -d)"
-trap 'rm -rf "$tmpdir"' EXIT
 ./build/examples/trace_tour --seed=7 \
   --trace-out="$tmpdir/tour.trace.json" \
   --metrics-out="$tmpdir/tour.metrics.json" > /dev/null

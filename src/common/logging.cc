@@ -5,10 +5,17 @@
 #include <cstring>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace hivesim {
 
 namespace {
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+// Lock-free: written only by SetMinLogLevel (test setup / CLI flag
+// parsing, before workers spawn), read on every log call. Relaxed
+// ordering would suffice; the default seq_cst costs nothing on a
+// load-dominated counter and keeps the call sites plain.
+HIVESIM_ATOMIC_LOCK_FREE std::atomic<int> g_min_level{
+    static_cast<int>(LogLevel::kWarning)};
 
 struct SimTimeSource {
   SimTimeFn fn;

@@ -16,8 +16,11 @@ namespace hivesim {
 ///   Result<Shard> r = ReadShard(path);
 ///   if (!r.ok()) return r.status();
 ///   UseShard(r.value());
+///
+/// `[[nodiscard]]` for the same reason as `Status`: dropping the result
+/// drops the error with it (rule S1 audits explicit `(void)` discards).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit by design, mirroring StatusOr).
   Result(T value) : value_(std::move(value)) {}

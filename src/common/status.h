@@ -29,12 +29,15 @@ enum class StatusCode {
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
 std::string_view StatusCodeName(StatusCode code);
 
-/// A cheap, copyable success-or-error value.
+/// A cheap, copyable success-or-error value. `[[nodiscard]]`: a dropped
+/// Status is a swallowed error, so every caller must consume it —
+/// deliberate discards are written `(void)DoThing();` with a
+/// `// hivesim-lint: allow(S1) reason=...` pragma (rule S1 audits them).
 ///
 /// Usage:
 ///   Status s = DoThing();
 ///   if (!s.ok()) return s;
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -1,0 +1,114 @@
+#ifndef HIVESIM_COMMON_THREAD_ANNOTATIONS_H_
+#define HIVESIM_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+/// Clang Thread Safety Analysis attributes behind HIVESIM_ macros, plus
+/// the annotated `Mutex`/`MutexLock` wrappers the attributes need to
+/// be checkable. Under clang, `-Wthread-safety` (enabled whenever the
+/// compiler is clang; CI's `-Werror` promotes it) statically proves
+/// that every `HIVESIM_GUARDED_BY(mu)` member is only touched with `mu`
+/// held and that `HIVESIM_REQUIRES(mu)` functions are only called under
+/// it. Under GCC every macro expands to nothing and the wrappers
+/// degrade to plain `std::mutex` forwarding — zero overhead either way.
+///
+/// hivesim-lint rule C1 closes the loop from the other side: every
+/// `std::mutex`/`hivesim::Mutex`/`std::atomic` declaration in the tree
+/// must carry one of these annotations (or an audited suppression), so
+/// shared mutable state cannot be added without declaring its locking
+/// story. See docs/STATIC_ANALYSIS.md ("Thread-safety annotations").
+///
+/// Lock-acquisition order is part of that story: each mutex declares
+/// its place in the process-wide acquisition DAG with
+/// `HIVESIM_ACQUIRED_AFTER(other)` / `HIVESIM_ACQUIRED_BEFORE(other)`
+/// (edges), or `HIVESIM_LOCK_ORDER_ROOT` for a lock that is never
+/// acquired while another hivesim lock is held. The linter collects the
+/// declared edges across all TUs and fails on any cycle — a cycle in
+/// acquisition order is a deadlock waiting for the right interleaving.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define HIVESIM_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define HIVESIM_THREAD_ANNOTATION__(x)  // GCC: no thread safety analysis.
+#endif
+
+#define HIVESIM_CAPABILITY(x) HIVESIM_THREAD_ANNOTATION__(capability(x))
+#define HIVESIM_SCOPED_CAPABILITY HIVESIM_THREAD_ANNOTATION__(scoped_lockable)
+#define HIVESIM_GUARDED_BY(x) HIVESIM_THREAD_ANNOTATION__(guarded_by(x))
+#define HIVESIM_PT_GUARDED_BY(x) HIVESIM_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define HIVESIM_ACQUIRED_BEFORE(...) \
+  HIVESIM_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define HIVESIM_ACQUIRED_AFTER(...) \
+  HIVESIM_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#define HIVESIM_REQUIRES(...) \
+  HIVESIM_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define HIVESIM_REQUIRES_SHARED(...) \
+  HIVESIM_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define HIVESIM_ACQUIRE(...) \
+  HIVESIM_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define HIVESIM_RELEASE(...) \
+  HIVESIM_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define HIVESIM_TRY_ACQUIRE(...) \
+  HIVESIM_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define HIVESIM_EXCLUDES(...) \
+  HIVESIM_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define HIVESIM_ASSERT_CAPABILITY(x) \
+  HIVESIM_THREAD_ANNOTATION__(assert_capability(x))
+#define HIVESIM_RETURN_CAPABILITY(x) \
+  HIVESIM_THREAD_ANNOTATION__(lock_returned(x))
+#define HIVESIM_NO_THREAD_SAFETY_ANALYSIS \
+  HIVESIM_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+/// Marker for a mutex that sits at a root of the lock-acquisition DAG:
+/// no other hivesim lock is ever held when it is acquired, and no other
+/// lock is acquired while it is held. Expands to nothing; hivesim-lint
+/// rule C1 reads it as this mutex's (empty) set of ordering edges.
+#define HIVESIM_LOCK_ORDER_ROOT
+
+/// Marker for a deliberately lock-free `std::atomic`: the declaration
+/// site must explain the ordering contract (who writes, who reads, why
+/// the default sequential consistency — or an explicit memory order at
+/// the call sites — is sufficient). Expands to nothing; rule C1 accepts
+/// it in place of `HIVESIM_GUARDED_BY`.
+#define HIVESIM_ATOMIC_LOCK_FREE
+
+namespace hivesim {
+
+/// `std::mutex` with capability annotations, so clang can check
+/// `HIVESIM_GUARDED_BY(mu_)` members (the std type carries no attributes
+/// under libstdc++). Satisfies BasicLockable: pass it directly to
+/// `std::condition_variable_any::wait`, which unlocks/relocks it around
+/// the sleep (the analysis treats the capability as held across the
+/// wait, which is exactly the caller-visible contract).
+class HIVESIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HIVESIM_ACQUIRE() { mu_.lock(); }
+  void unlock() HIVESIM_RELEASE() { mu_.unlock(); }
+  bool try_lock() HIVESIM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over `Mutex` (the annotated analogue of
+/// `std::lock_guard`). Scoped-capability annotated so clang tracks the
+/// hold over the lexical scope.
+class HIVESIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HIVESIM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() HIVESIM_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace hivesim
+
+#endif  // HIVESIM_COMMON_THREAD_ANNOTATIONS_H_

@@ -4,9 +4,10 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace hivesim {
 
@@ -25,6 +26,11 @@ namespace hivesim {
 /// thread (not inline), so the serial and parallel configurations exercise
 /// the identical code path — which is what lets the determinism oracle
 /// compare them byte for byte.
+///
+/// All shared state is guarded by `mu_` (thread-safety annotated; clang's
+/// `-Wthread-safety` proves every access holds it). Tasks themselves run
+/// with `mu_` released, so a task may Submit() more work or take unrelated
+/// locks without ordering against the pool's own.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (clamped to >= 1).
@@ -36,24 +42,26 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Must not be called after Shutdown().
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) HIVESIM_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished (queue empty and no
   /// task in flight). More tasks may be submitted afterwards.
-  void Wait();
+  void Wait() HIVESIM_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() HIVESIM_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;   ///< Signals workers.
-  std::condition_variable all_done_;     ///< Signals Wait().
-  std::deque<std::function<void()>> queue_;
-  int in_flight_ = 0;   ///< Tasks popped but not yet finished.
-  bool shutdown_ = false;
-  std::vector<std::thread> workers_;
+  /// Root of the lock-order DAG: tasks run with `mu_` released, so no
+  /// other hivesim lock is ever taken while it is held.
+  Mutex mu_ HIVESIM_LOCK_ORDER_ROOT;
+  std::condition_variable_any work_ready_;  ///< Signals workers.
+  std::condition_variable_any all_done_;    ///< Signals Wait().
+  std::deque<std::function<void()>> queue_ HIVESIM_GUARDED_BY(mu_);
+  int in_flight_ HIVESIM_GUARDED_BY(mu_) = 0;  ///< Popped, not finished.
+  bool shutdown_ HIVESIM_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  ///< Written only in the constructor.
 };
 
 }  // namespace hivesim

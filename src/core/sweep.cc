@@ -209,7 +209,7 @@ SweepAggregator::SweepAggregator(SweepSpec spec, std::vector<SweepCell> cells)
       present_(cells_.size(), false) {}
 
 void SweepAggregator::Add(size_t index, SweepCellOutcome outcome) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (index >= cells_.size() || present_[index]) return;
   outcomes_[index] = std::move(outcome);
   present_[index] = true;
@@ -217,17 +217,21 @@ void SweepAggregator::Add(size_t index, SweepCellOutcome outcome) {
 }
 
 size_t SweepAggregator::added() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return added_;
 }
 
 bool SweepAggregator::complete() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return added_ == cells_.size();
 }
 
 int SweepAggregator::failures() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  return FailuresLocked();
+}
+
+int SweepAggregator::FailuresLocked() const {
   int failures = 0;
   for (size_t i = 0; i < cells_.size(); ++i) {
     if (present_[i] && !outcomes_[i].ok) ++failures;
@@ -236,6 +240,7 @@ int SweepAggregator::failures() const {
 }
 
 std::string SweepAggregator::ReportJson() const {
+  MutexLock lock(mu_);
   ReportBuilder report(spec_.title);
   for (size_t i = 0; i < cells_.size(); ++i) {
     if (present_[i] && outcomes_[i].ok) {
@@ -246,6 +251,7 @@ std::string SweepAggregator::ReportJson() const {
 }
 
 std::string SweepAggregator::ReportCsv() const {
+  MutexLock lock(mu_);
   ReportBuilder report(spec_.title);
   for (size_t i = 0; i < cells_.size(); ++i) {
     if (present_[i] && outcomes_[i].ok) {
@@ -256,6 +262,7 @@ std::string SweepAggregator::ReportCsv() const {
 }
 
 std::string SweepAggregator::ManifestJson() const {
+  MutexLock lock(mu_);
   JsonWriter json;
   json.BeginObject();
   json.Key("title").String(spec_.title);
@@ -289,7 +296,7 @@ std::string SweepAggregator::ManifestJson() const {
   json.Key("duration_sec").Number(spec_.duration_sec);
   json.EndObject();
   json.Key("num_cells").Int(static_cast<int64_t>(cells_.size()));
-  json.Key("failures").Int(failures());
+  json.Key("failures").Int(FailuresLocked());
   json.Key("cells").BeginArray();
   for (size_t i = 0; i < cells_.size(); ++i) {
     const SweepCell& cell = cells_[i];
@@ -324,6 +331,7 @@ std::string SweepAggregator::ManifestJson() const {
 }
 
 std::string SweepAggregator::MergedMetricsJson() const {
+  MutexLock lock(mu_);
   telemetry::MetricsRegistry merged;
   for (size_t i = 0; i < cells_.size(); ++i) {
     if (present_[i]) merged.Merge(outcomes_[i].metrics);

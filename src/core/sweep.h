@@ -2,10 +2,11 @@
 #define HIVESIM_CORE_SWEEP_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 #include "common/result.h"
 #include "common/units.h"
@@ -152,7 +153,11 @@ class SweepAggregator {
   const SweepSpec& spec() const { return spec_; }
   const std::vector<SweepCell>& cells() const { return cells_; }
   /// Outcome of cell `index`; meaningful once that cell was added.
-  const SweepCellOutcome& outcome(size_t index) const {
+  /// Deliberately unlocked (it returns a reference, so a lock here could
+  /// not protect the caller anyway): callers read only after the worker
+  /// pool is joined, which already happens-before via Add()'s unlock.
+  const SweepCellOutcome& outcome(size_t index) const
+      HIVESIM_NO_THREAD_SAFETY_ANALYSIS {
     return outcomes_[index];
   }
 
@@ -167,12 +172,16 @@ class SweepAggregator {
   std::string MergedMetricsJson() const;
 
  private:
-  SweepSpec spec_;
-  std::vector<SweepCell> cells_;
-  std::vector<SweepCellOutcome> outcomes_;
-  std::vector<bool> present_;
-  size_t added_ = 0;
-  mutable std::mutex mu_;
+  int FailuresLocked() const HIVESIM_REQUIRES(mu_);
+
+  SweepSpec spec_;           ///< Immutable after construction.
+  std::vector<SweepCell> cells_;  ///< Immutable after construction.
+  std::vector<SweepCellOutcome> outcomes_ HIVESIM_GUARDED_BY(mu_);
+  std::vector<bool> present_ HIVESIM_GUARDED_BY(mu_);
+  size_t added_ HIVESIM_GUARDED_BY(mu_) = 0;
+  /// Root of the lock-order DAG: Add() and the renderers hold it over
+  /// pure in-memory work only; no other hivesim lock nests inside.
+  mutable Mutex mu_ HIVESIM_LOCK_ORDER_ROOT;
 };
 
 }  // namespace hivesim::core

@@ -8,6 +8,7 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "common/thread_annotations.h"
 
 namespace hivesim::telemetry {
 
@@ -157,7 +158,9 @@ namespace {
 // cells) can never see a stale epoch match. Atomic because sweep workers
 // construct per-cell registries concurrently.
 uint64_t NextRegistryEpoch() {
-  static std::atomic<uint64_t> next{1};
+  // Lock-free: a pure fetch_add ticket counter — uniqueness is the whole
+  // contract, no other state is published, so relaxed ordering is enough.
+  HIVESIM_ATOMIC_LOCK_FREE static std::atomic<uint64_t> next{1};
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 }  // namespace

@@ -1,0 +1,17 @@
+// The sanctioned shapes rule C1 accepts: a mutex rooted in the
+// lock-order DAG, one ordered after it (a valid acyclic edge), an
+// atomic guarded by a mutex, and an atomic with a documented lock-free
+// contract (prefix marker) — no diagnostics.
+#include <atomic>
+#include <mutex>
+
+class Counters {
+ public:
+  void Bump();
+
+ private:
+  std::mutex mu_ HIVESIM_LOCK_ORDER_ROOT;
+  std::mutex log_mu_ HIVESIM_ACQUIRED_AFTER(mu_);
+  std::atomic<int> hits_ HIVESIM_GUARDED_BY(mu_);
+  HIVESIM_ATOMIC_LOCK_FREE std::atomic<int> epoch_{0};
+};

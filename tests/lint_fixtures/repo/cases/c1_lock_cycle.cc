@@ -1,0 +1,11 @@
+// Seeded lock-order cycle: each mutex claims to be acquired after the
+// other, so no consistent acquisition order exists — the declared
+// protocol can deadlock. Both members are annotated (no plain C1), but
+// the DAG check fails program-wide.
+#include <mutex>
+
+class Pipeline {
+ private:
+  std::mutex ingest_mu_ HIVESIM_ACQUIRED_AFTER(publish_mu_);
+  std::mutex publish_mu_ HIVESIM_ACQUIRED_AFTER(ingest_mu_);
+};

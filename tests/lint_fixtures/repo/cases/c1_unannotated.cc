@@ -1,0 +1,14 @@
+// Seeded C1 violations: shared mutable state with no declared
+// concurrency story — a bare mutex (no lock-order position) and a bare
+// atomic (neither guarded nor documented lock-free).
+#include <atomic>
+#include <mutex>
+
+class Counters {
+ public:
+  void Bump();
+
+ private:
+  std::mutex mu_;             // line 12: C1
+  std::atomic<int> hits_{0};  // line 13: C1
+};

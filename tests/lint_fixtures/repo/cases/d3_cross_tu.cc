@@ -1,0 +1,17 @@
+// The old emission heuristic required this *file* to include an
+// emitter header, so emission through a cross-TU call was invisible —
+// this loop went unflagged. The call graph follows Aggregate ->
+// WriteSummary (defined in d3_cross_tu_helper.cc) -> JsonWriter.
+#include <string>
+#include <unordered_map>
+
+void WriteSummary(int total);
+
+int Aggregate(const std::unordered_map<std::string, int>& counts) {
+  int total = 0;
+  for (const auto& entry : counts) {  // line 12: D3 via the call graph
+    total += entry.second;
+  }
+  WriteSummary(total);
+  return total;
+}

@@ -1,0 +1,21 @@
+// The old emission heuristic flagged this file's loop: it includes the
+// emitter header and mentions JsonWriter *somewhere*. But the function
+// that iterates never reaches emission — only a call graph can tell
+// the two functions apart, so the loop must stay unflagged.
+#include <string>
+#include <unordered_map>
+
+#include "common/json.h"
+
+void WriteBanner() {
+  JsonWriter json;
+  json.Emit();
+}
+
+int TallyLocal(const std::unordered_map<std::string, int>& counts) {
+  int total = 0;
+  for (const auto& entry : counts) {  // Old D3 fired here; now clean.
+    total += entry.second;
+  }
+  return total;
+}

@@ -1,0 +1,14 @@
+// Seeded D5 violation: hash order picks the reduction order, and
+// floating-point addition is not associative, so the sum itself is
+// nondeterministic. No emission reach is required — the corrupted
+// value flows wherever the function's result goes.
+#include <string>
+#include <unordered_map>
+
+double TotalWeight(const std::unordered_map<std::string, double>& weights) {
+  double total = 0.0;
+  for (const auto& entry : weights) {  // line 10: D5
+    total += entry.second;
+  }
+  return total;
+}

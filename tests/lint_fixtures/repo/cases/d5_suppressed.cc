@@ -1,0 +1,13 @@
+// The audited escape hatch for D5: same reduction, pragma on the line
+// above with a reason.
+#include <string>
+#include <unordered_map>
+
+double TotalWeight(const std::unordered_map<std::string, double>& weights) {
+  double total = 0.0;
+  // hivesim-lint: allow(D5) reason=all weights are exact powers of two, addition is associative here
+  for (const auto& entry : weights) {
+    total += entry.second;
+  }
+  return total;
+}

@@ -1,0 +1,9 @@
+// Seeded S1 violations: '(void)' and static_cast<void> both silence
+// [[nodiscard]] on a Status-returning call; each discard must carry an
+// audited pragma saying why dropping the error is safe.
+Status SaveCheckpoint();
+
+void Tick() {
+  (void)SaveCheckpoint();               // line 7: S1
+  static_cast<void>(SaveCheckpoint());  // line 8: S1
+}

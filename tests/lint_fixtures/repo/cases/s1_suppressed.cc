@@ -1,0 +1,8 @@
+// The audited escape hatch for S1: the discard carries a pragma with a
+// reason, so the swallowed error is a documented decision.
+Status SaveCheckpoint();
+
+void Shutdown() {
+  // hivesim-lint: allow(S1) reason=best-effort checkpoint during shutdown; failure only loses the final snapshot
+  (void)SaveCheckpoint();
+}

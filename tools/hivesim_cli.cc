@@ -610,7 +610,8 @@ int CmdAnalyze(const FlagSet& flags) {
 }
 
 int CmdLint(const FlagSet& flags) {
-  if (Status s = flags.CheckKnown({"compile-commands", "root"}); !s.ok()) {
+  if (Status s = flags.CheckKnown({"compile-commands", "root", "json"});
+      !s.ok()) {
     return Fail(s);
   }
   lint::LintOptions options;
@@ -619,6 +620,14 @@ int CmdLint(const FlagSet& flags) {
       flags.GetString("compile-commands", "build/compile_commands.json");
   auto report = lint::RunLint(options);
   if (!report.ok()) return Fail(report.status());
+  const std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    out << lint::JsonReport(*report) << "\n";
+    if (!out) {
+      return Fail(Status::IOError(StrCat("cannot write ", json_path)));
+    }
+  }
   std::cout << lint::FormatReport(*report);
   if (!report->diagnostics.empty()) {
     std::cout << "suppress a deliberate exception with "

@@ -1,0 +1,80 @@
+#ifndef HIVESIM_TOOLS_LINT_CALLGRAPH_H_
+#define HIVESIM_TOOLS_LINT_CALLGRAPH_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace hivesim::lint {
+
+/// One function definition recovered from the token stream. The
+/// extractor is not a C++ front end: it tracks namespace/class scopes
+/// and brace depth, recognizes `name(args) [qualifiers] {` definition
+/// heads (including constructor initializer lists and trailing return
+/// types), and records which simple names the body calls. Lambdas and
+/// local classes inside a body are attributed to the enclosing
+/// function — exactly what reachability wants.
+struct FunctionSpan {
+  std::string name;       ///< Simple name ("EmitCounts").
+  std::string qualified;  ///< Scoped display name ("report::EmitCounts").
+  int line = 0;           ///< Line of the definition head.
+  size_t body_begin = 0;  ///< Token index of the body '{'.
+  size_t body_end = 0;    ///< Token index of the matching '}'.
+  /// Simple names of everything the body calls (`ident(` occurrences,
+  /// keywords excluded), in order of first appearance, deduplicated.
+  std::vector<std::string> calls;
+  /// First emitter symbol the body mentions ("" when none). A non-empty
+  /// value makes this function a direct emission sink.
+  std::string emitter_symbol;
+
+  // Filled in by LinkCallGraph (lint.h):
+  bool reaches_emission = false;
+  /// Witness: "Caller -> Callee -> ... -> Sink -> JsonWriter". The last
+  /// element is the emitter symbol the sink touches.
+  std::string emission_path;
+};
+
+/// A mutex or atomic declaration, for rule C1. Mutexes must declare
+/// their place in the lock-acquisition DAG (HIVESIM_ACQUIRED_AFTER /
+/// HIVESIM_ACQUIRED_BEFORE edges, or HIVESIM_LOCK_ORDER_ROOT); atomics
+/// must be HIVESIM_GUARDED_BY a mutex or marked
+/// HIVESIM_ATOMIC_LOCK_FREE with the contract documented.
+struct SyncDecl {
+  enum class Kind { kMutex, kAtomic };
+  Kind kind = Kind::kMutex;
+  std::string name;   ///< Declared member/variable name.
+  std::string scope;  ///< Enclosing class/namespace ("" at file scope).
+  int line = 0;
+  bool annotated = false;
+  /// Declared ordering edges (mutexes only), as written in the
+  /// annotation arguments; unqualified names resolve against `scope`.
+  std::vector<std::string> acquired_after;
+  std::vector<std::string> acquired_before;
+};
+
+/// Everything the structural pass extracts from one file.
+struct FileStructure {
+  std::vector<FunctionSpan> functions;
+  std::vector<SyncDecl> sync_decls;
+  /// Names of functions observed returning `Status` or `Result<T>` by
+  /// value (definitions, declarations, and factory calls alike). Rule
+  /// S1 checks `(void)` discards against the cross-TU union of these.
+  std::set<std::string> status_fns;
+};
+
+/// Structural pass over one lexed file.
+FileStructure AnalyzeStructure(const LexedFile& lex,
+                               const std::set<std::string>& emitter_symbols);
+
+/// Innermost function whose body contains token index `i` (functions do
+/// not nest in the extracted model, so "innermost" is the latest span
+/// covering `i`). nullptr when the token is at file/class scope.
+const FunctionSpan* EnclosingFunction(const FileStructure& structure,
+                                      size_t token_index);
+
+}  // namespace hivesim::lint
+
+#endif  // HIVESIM_TOOLS_LINT_CALLGRAPH_H_

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/strings.h"
 #include "lint/layering.h"
 #include "lint/lint.h"
@@ -183,48 +184,36 @@ Result<LintReport> RunLint(const LintOptions& options) {
     facts.emplace(rel, std::move(f));
   }
 
-  // Emitter files: headers from the config plus everything that
-  // transitively includes one (fixpoint over the include graph). The
-  // graph may reference headers outside the scanned set (e.g. a
-  // fixture including a real src/ header); those are resolved against
-  // the suffix list directly.
-  auto is_emitter_header = [&](const std::string& rel) {
-    for (const std::string& suffix : options.config.emitter_headers) {
-      if (rel.size() >= suffix.size() &&
-          rel.compare(rel.size() - suffix.size(), suffix.size(), suffix) ==
-              0) {
-        return true;
-      }
-    }
-    return false;
-  };
-  std::set<std::string> reaches;
-  for (const auto& [rel, unused] : facts) {
-    if (is_emitter_header(rel)) reaches.insert(rel);
+  // ---- Structural pass + cross-TU call graph ------------------------
+  // Every scanned file contributes its functions to one program-wide
+  // call graph; LinkCallGraph then marks everything that can reach an
+  // emission sink (a function whose body touches an emitter symbol)
+  // and records the witness path. This replaces the old
+  // "includes-an-emitter-header" approximation, which was wrong in
+  // both directions: it missed emission through a cross-TU call, and
+  // it flagged whole files when only one function emitted.
+  for (auto& [rel, f] : facts) {
+    f.structure = AnalyzeStructure(f.lex, options.config.emitter_symbols);
   }
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const auto& [rel, incs] : includes) {
-      if (reaches.count(rel) > 0) continue;
-      for (const std::string& inc : incs) {
-        if (reaches.count(inc) > 0 || is_emitter_header(inc)) {
-          reaches.insert(rel);
-          changed = true;
-          break;
-        }
-      }
-    }
+  std::vector<std::pair<std::string, FileStructure*>> structures;
+  structures.reserve(facts.size());
+  for (auto& [rel, f] : facts) {
+    structures.emplace_back(rel, &f.structure);
   }
+  const GraphLinkResult linked = LinkCallGraph(std::move(structures));
 
-  // Unordered-container declarations seen across each file's include
-  // closure (member declarations live in headers; the .cc iterates).
+  // Unordered-container and float declarations seen across each file's
+  // include closure (member declarations live in headers; the .cc
+  // iterates and accumulates).
   std::map<std::string, std::set<std::string>> decls;
+  std::map<std::string, std::set<std::string>> float_decls;
   for (auto& [rel, f] : facts) {
     decls[rel] = CollectUnorderedDecls(f.lex);
+    float_decls[rel] = CollectFloatDecls(f.lex);
   }
   for (auto& [rel, f] : facts) {
     std::set<std::string> closure = decls[rel];
+    std::set<std::string> float_closure = float_decls[rel];
     std::set<std::string> visited{rel};
     std::vector<std::string> frontier{rel};
     while (!frontier.empty()) {
@@ -235,33 +224,23 @@ Result<LintReport> RunLint(const LintOptions& options) {
       for (const std::string& inc : it->second) {
         if (!visited.insert(inc).second) continue;
         auto d = decls.find(inc);
-        if (d != decls.end()) {
-          closure.insert(d->second.begin(), d->second.end());
-        } else {
+        if (d == decls.end()) {
           // Header outside the scanned set (fixtures including real
           // src/ headers): lex it once for its declarations.
           auto content = ReadFile(root / inc);
-          if (content.ok()) {
-            decls[inc] = CollectUnorderedDecls(Lex(*content));
-            closure.insert(decls[inc].begin(), decls[inc].end());
-          }
+          const LexedFile lexed = content.ok() ? Lex(*content) : LexedFile{};
+          decls[inc] = CollectUnorderedDecls(lexed);
+          float_decls[inc] = CollectFloatDecls(lexed);
+          d = decls.find(inc);
         }
+        closure.insert(d->second.begin(), d->second.end());
+        float_closure.insert(float_decls[inc].begin(), float_decls[inc].end());
         frontier.push_back(inc);
       }
     }
     f.unordered_names = std::move(closure);
-
-    bool mentions_emitter = false;
-    for (const Token& tok : f.lex.tokens) {
-      if (tok.kind == TokKind::kIdentifier &&
-          options.config.emitter_symbols.count(tok.text) > 0) {
-        mentions_emitter = true;
-        break;
-      }
-    }
-    f.reaches_emission =
-        mentions_emitter &&
-        (reaches.count(rel) > 0 || is_emitter_header(rel));
+    f.float_names = std::move(float_closure);
+    f.status_fns = linked.status_fns;
   }
 
   // ---- Run rules + pragma filtering ---------------------------------
@@ -296,6 +275,12 @@ Result<LintReport> RunLint(const LintOptions& options) {
     report.diagnostics.insert(report.diagnostics.end(), filtered.begin(),
                               filtered.end());
   }
+  // Lock-order cycles are a property of the whole program's declared
+  // acquisition DAG, not any one line — appended unfiltered (not
+  // pragma-suppressible), like module-DAG cycles.
+  report.diagnostics.insert(report.diagnostics.end(),
+                            linked.lock_order.begin(),
+                            linked.lock_order.end());
 
   std::sort(report.diagnostics.begin(), report.diagnostics.end());
   report.diagnostics.erase(
@@ -314,6 +299,25 @@ std::string FormatReport(const LintReport& report) {
                 report.diagnostics.size(), " diagnostic",
                 report.diagnostics.size() == 1 ? "" : "s", "\n");
   return out;
+}
+
+std::string JsonReport(const LintReport& report) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema").String("hivesim-lint/1");
+  json.Key("files_scanned").Int(report.files_scanned);
+  json.Key("diagnostics").BeginArray();
+  for (const Diagnostic& diag : report.diagnostics) {
+    json.BeginObject();
+    json.Key("file").String(diag.file);
+    json.Key("line").Int(diag.line);
+    json.Key("rule").String(diag.rule);
+    json.Key("message").String(diag.message);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.ToString();
 }
 
 }  // namespace hivesim::lint

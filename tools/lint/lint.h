@@ -4,16 +4,18 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "lint/callgraph.h"
 #include "lint/lexer.h"
 
 namespace hivesim::lint {
 
 /// One finding. `file` is repo-relative (or the path given for extra
-/// files), `rule` is the short rule id ("D1".."D4", "L1", "P1") and
-/// `message` is the full human text. Diagnostics compare by
+/// files), `rule` is the short rule id ("D1".."D5", "C1", "S1", "L1",
+/// "P1") and `message` is the full human text. Diagnostics compare by
 /// (file, line, rule, message) so reports are deterministically ordered.
 struct Diagnostic {
   std::string file;
@@ -37,27 +39,19 @@ struct Diagnostic {
 /// in fixture trees and synthetic DAGs through the same structure.
 struct LintConfig {
   /// Rule -> repo-relative path suffixes exempt from that rule. The
-  /// only baked-in exemption is the seeded RNG itself: D1 bans entropy
-  /// *outside* common/rng.h by definition.
+  /// baked-in exemptions are definitional: D1 bans entropy *outside*
+  /// common/rng.h, and C1 requires the annotations that
+  /// common/thread_annotations.h itself defines (its annotated Mutex
+  /// wrapper holds the one std::mutex allowed to go bare).
   std::map<std::string, std::vector<std::string>> allowlist = {
       {"D1", {"common/rng.h"}},
+      {"C1", {"common/thread_annotations.h"}},
   };
 
-  /// Headers whose inclusion (transitively) marks a file as able to
-  /// reach JSON/CSV/trace emission — the D3 call-graph approximation.
-  std::vector<std::string> emitter_headers = {
-      "common/json.h",
-      "common/table_writer.h",
-      "fuzz/fuzz.h",
-      "scenario/scenario.h",
-      "telemetry/analysis.h",
-      "telemetry/round_model.h",
-      "telemetry/telemetry.h",
-  };
-
-  /// Identifiers that mark a file as actually *touching* an emission
-  /// API. D3 fires only in files that both include an emitter header
-  /// and mention one of these, keeping the approximation honest.
+  /// Identifiers whose mention makes a function a direct emission
+  /// sink. Reachability is then transitive over the cross-TU call
+  /// graph: a function reaches emission iff it is a sink or calls one
+  /// that does (see AnalyzeStructure/LinkCallGraph).
   std::set<std::string> emitter_symbols = {
       "JsonWriter",   "TableWriter",     "TraceRecorder", "MetricsRegistry",
       "CounterHandle", "ToJson",         "ToCsv",         "ToChromeJson",
@@ -136,25 +130,58 @@ Result<LintReport> RunLint(const LintOptions& options);
 /// summary, exactly as `hivesim lint` prints them.
 std::string FormatReport(const LintReport& report);
 
+/// Machine-readable rendering of the same report: one JSON object with
+/// schema id "hivesim-lint/1", the scan count, and the sorted
+/// diagnostics (`hivesim lint --json=PATH` writes this; see
+/// docs/STATIC_ANALYSIS.md for the schema).
+std::string JsonReport(const LintReport& report);
+
 // ---- Internals shared with tests -------------------------------------
 
 /// Per-file facts computed by the driver before rules run.
 struct FileFacts {
   std::string path;  ///< As reported in diagnostics.
   LexedFile lex;
-  bool reaches_emission = false;
+  /// Functions, sync declarations, and Status-returning names, with
+  /// emission reachability linked across all scanned files.
+  FileStructure structure;
   /// Identifiers declared as unordered containers anywhere in this
   /// file's include closure (member decls live in headers).
   std::set<std::string> unordered_names;
+  /// Identifiers declared as float/double in the include closure (D5's
+  /// accumulator candidates).
+  std::set<std::string> float_names;
+  /// Cross-TU union of Status/Result-returning function names (S1).
+  std::set<std::string> status_fns;
 };
 
-/// Runs the token rules (D1, D2, D3, D4) over one file. Suppression
+/// Output of linking the per-file structures into one program view.
+struct GraphLinkResult {
+  /// Union of every file's status_fns.
+  std::set<std::string> status_fns;
+  /// Lock-order DAG cycles (rule C1, reported against the pseudo-file
+  /// "lock-order DAG"; deliberately not pragma-suppressible).
+  std::vector<Diagnostic> lock_order;
+};
+
+/// Links the cross-TU call graph: marks every FunctionSpan that can
+/// reach an emission sink (with its witness path), unions the
+/// Status-returning names, and checks the declared lock-acquisition
+/// DAG for cycles. Resolution is by simple name — an over-approximation
+/// (any same-named function connects), which errs toward flagging.
+GraphLinkResult LinkCallGraph(
+    std::vector<std::pair<std::string, FileStructure*>> files);
+
+/// Runs the token rules (D1-D5, C1, S1) over one file. Suppression
 /// and P1 pragma hygiene are applied by the caller via ApplyPragmas.
 std::vector<Diagnostic> CheckTokens(const FileFacts& facts,
                                     const LintConfig& config);
 
 /// Collects identifiers declared as std::unordered_map/set in a file.
 std::set<std::string> CollectUnorderedDecls(const LexedFile& lex);
+
+/// Collects identifiers declared as float/double in a file.
+std::set<std::string> CollectFloatDecls(const LexedFile& lex);
 
 /// Filters `raw` through the file's pragmas: a pragma on line L with a
 /// matching rule suppresses diagnostics on L or L+1. Malformed and

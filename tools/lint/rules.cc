@@ -66,6 +66,15 @@ int AngleDelta(const Token& tok) {
   return 0;
 }
 
+/// When the enclosing function can reach emission, the diagnostic says
+/// so and shows the call-graph witness — nondeterminism there does not
+/// just corrupt state, it lands in committed goldens.
+std::string ReachNote(const FileFacts& facts, size_t token_index) {
+  const FunctionSpan* fn = EnclosingFunction(facts.structure, token_index);
+  if (fn == nullptr || !fn->reaches_emission) return "";
+  return StrCat(" (reaches emission: ", fn->emission_path, ")");
+}
+
 void CheckEntropyAndClocks(const FileFacts& facts, const LintConfig& config,
                            std::vector<Diagnostic>* out) {
   const auto& tokens = facts.lex.tokens;
@@ -78,7 +87,8 @@ void CheckEntropyAndClocks(const FileFacts& facts, const LintConfig& config,
       out->push_back(
           {facts.path, tok.line, "D1",
            StrCat("nondeterministic entropy source '", tok.text,
-                  "'; draw from the seeded hivesim::Rng (common/rng.h)")});
+                  "'; draw from the seeded hivesim::Rng (common/rng.h)",
+                  ReachNote(facts, i))});
       continue;
     }
     if (d2_allowed) continue;
@@ -95,21 +105,31 @@ void CheckEntropyAndClocks(const FileFacts& facts, const LintConfig& config,
            StrCat("wall-clock read '", tok.text,
                   "'; simulation logic uses sim::Simulator::Now(), host "
                   "timing goes through hivesim::HostClock "
-                  "(common/host_clock.h)")});
+                  "(common/host_clock.h)",
+                  ReachNote(facts, i))});
     }
   }
 }
 
-/// D3: range-for over an unordered container in a file that can reach
-/// report/trace emission. Only a *bare* iterated expression fires
-/// (`for (x : map_)`, `for (x : this->map_)`, `for (x : *map)`): a
-/// wrapped expression like `for (k : SortedKeys(map_))` is exactly the
-/// sanctioned fix and must not be flagged.
+/// D3/D5: range-for over an unordered container. Only a *bare*
+/// iterated expression fires (`for (x : map_)`, `for (x : this->map_)`,
+/// `for (x : *map)`): a wrapped expression like
+/// `for (k : SortedKeys(map_))` is exactly the sanctioned fix and must
+/// not be flagged.
+///
+/// D5 fires when the loop body accumulates into a float/double with a
+/// compound assignment: hash order then picks the reduction order, and
+/// floating-point addition is not associative, so the *value* is
+/// nondeterministic wherever it flows — emission-reachable or not. D3
+/// fires for the remaining cases, gated on the enclosing function
+/// actually reaching an emission sink through the cross-TU call graph
+/// (the witness path is part of the message).
 void CheckUnorderedIteration(const FileFacts& facts, const LintConfig& config,
                              std::vector<Diagnostic>* out) {
-  if (!facts.reaches_emission) return;
   if (facts.unordered_names.empty()) return;
-  if (Allowlisted(config, "D3", facts.path)) return;
+  const bool d3_allowed = Allowlisted(config, "D3", facts.path);
+  const bool d5_allowed = Allowlisted(config, "D5", facts.path);
+  if (d3_allowed && d5_allowed) return;
   const auto& tokens = facts.lex.tokens;
   for (size_t i = 0; i + 1 < tokens.size(); ++i) {
     if (tokens[i].kind != TokKind::kIdentifier || tokens[i].text != "for") {
@@ -161,11 +181,68 @@ void CheckUnorderedIteration(const FileFacts& facts, const LintConfig& config,
     }
     if (!bare || idents != 1) continue;
     if (facts.unordered_names.count(iterated) == 0) continue;
+
+    // Loop body: a braced block after the header, or one statement.
+    size_t body_begin = close + 1;
+    size_t body_end = body_begin;
+    if (body_begin < tokens.size() && tokens[body_begin].kind == TokKind::kPunct &&
+        tokens[body_begin].text == "{") {
+      int body_depth = 0;
+      for (size_t j = body_begin; j < tokens.size(); ++j) {
+        if (tokens[j].kind != TokKind::kPunct) continue;
+        if (tokens[j].text == "{") ++body_depth;
+        if (tokens[j].text == "}") {
+          --body_depth;
+          if (body_depth == 0) {
+            body_end = j;
+            break;
+          }
+        }
+      }
+    } else {
+      while (body_end < tokens.size() &&
+             !(tokens[body_end].kind == TokKind::kPunct &&
+               tokens[body_end].text == ";")) {
+        ++body_end;
+      }
+    }
+    // FP accumulation: `f +=` / `-=` / `*=` / `/=` with a float LHS
+    // (the lexer emits compound assignments as two tokens).
+    bool fp_accumulation = false;
+    std::string accumulator;
+    for (size_t j = body_begin; j + 2 < tokens.size() && j < body_end; ++j) {
+      if (tokens[j].kind != TokKind::kIdentifier) continue;
+      if (facts.float_names.count(tokens[j].text) == 0) continue;
+      if (tokens[j + 1].kind != TokKind::kPunct) continue;
+      const std::string& op = tokens[j + 1].text;
+      if (op != "+" && op != "-" && op != "*" && op != "/") continue;
+      if (tokens[j + 2].kind == TokKind::kPunct && tokens[j + 2].text == "=") {
+        fp_accumulation = true;
+        accumulator = tokens[j].text;
+        break;
+      }
+    }
+
+    if (fp_accumulation) {
+      if (d5_allowed) continue;
+      out->push_back(
+          {facts.path, tokens[colon].line, "D5",
+           StrCat("range-for over unordered container '", iterated,
+                  "' accumulates into floating-point '", accumulator,
+                  "'; hash order picks the (non-associative) reduction "
+                  "order, so the value is nondeterministic — reduce in "
+                  "sorted key order",
+                  ReachNote(facts, colon))});
+      continue;
+    }
+    if (d3_allowed) continue;
+    const FunctionSpan* fn = EnclosingFunction(facts.structure, colon);
+    if (fn == nullptr || !fn->reaches_emission) continue;
     out->push_back(
         {facts.path, tokens[colon].line, "D3",
-         StrCat("range-for over unordered container '", iterated,
-                "' in an emission-reachable file; emit in sorted key "
-                "order instead")});
+         StrCat("range-for over unordered container '", iterated, "' in '",
+                fn->name, "', which reaches emission (", fn->emission_path,
+                "); emit in sorted key order instead")});
   }
 }
 
@@ -218,17 +295,116 @@ void CheckPointerIdentity(const FileFacts& facts, const LintConfig& config,
     }
     if (is_hash && has_star) {
       out->push_back({facts.path, tok.line, "D4",
-                      "std::hash over a pointer type; pointer identity is "
-                      "nondeterministic across runs"});
+                      StrCat("std::hash over a pointer type; pointer "
+                             "identity is nondeterministic across runs",
+                             ReachNote(facts, i))});
     } else if (is_reinterpret && has_int) {
       out->push_back({facts.path, tok.line, "D4",
-                      "reinterpret_cast of a pointer to an integer; pointer "
-                      "values must not be hashed, ordered, or printed"});
+                      StrCat("reinterpret_cast of a pointer to an integer; "
+                             "pointer values must not be hashed, ordered, "
+                             "or printed",
+                             ReachNote(facts, i))});
     } else if (is_static_cast && has_void && has_star) {
       out->push_back({facts.path, tok.line, "D4",
-                      "cast to void* (pointer formatting); pointer values "
-                      "are nondeterministic across runs"});
+                      StrCat("cast to void* (pointer formatting); pointer "
+                             "values are nondeterministic across runs",
+                             ReachNote(facts, i))});
     }
+  }
+}
+
+/// C1: every mutex must declare its lock-order story, every atomic its
+/// concurrency contract (see common/thread_annotations.h). The
+/// declarations were collected by the structural pass; this check only
+/// reports the unannotated ones. Lock-order *cycles* are cross-TU and
+/// reported by LinkCallGraph, not here.
+void CheckSyncAnnotations(const FileFacts& facts, const LintConfig& config,
+                          std::vector<Diagnostic>* out) {
+  if (Allowlisted(config, "C1", facts.path)) return;
+  for (const SyncDecl& decl : facts.structure.sync_decls) {
+    if (decl.annotated) continue;
+    if (decl.kind == SyncDecl::Kind::kMutex) {
+      out->push_back(
+          {facts.path, decl.line, "C1",
+           StrCat("mutex '", decl.name,
+                  "' declares no lock-order story; add "
+                  "HIVESIM_ACQUIRED_BEFORE/_AFTER edges or "
+                  "HIVESIM_LOCK_ORDER_ROOT (common/thread_annotations.h)")});
+    } else {
+      out->push_back(
+          {facts.path, decl.line, "C1",
+           StrCat("std::atomic '", decl.name,
+                  "' declares no concurrency contract; add "
+                  "HIVESIM_GUARDED_BY(mu) or mark it "
+                  "HIVESIM_ATOMIC_LOCK_FREE with the ordering documented "
+                  "(common/thread_annotations.h)")});
+    }
+  }
+}
+
+/// S1: `(void)Foo(...)` / `static_cast<void>(Foo(...))` where Foo is
+/// known (cross-TU) to return Status or Result<T> by value. The cast
+/// silences [[nodiscard]], so each one must carry an allow(S1) pragma
+/// whose reason says why dropping the error is safe.
+void CheckStatusDiscards(const FileFacts& facts, const LintConfig& config,
+                         std::vector<Diagnostic>* out) {
+  if (facts.status_fns.empty()) return;
+  if (Allowlisted(config, "S1", facts.path)) return;
+  const auto& tokens = facts.lex.tokens;
+  for (size_t i = 0; i + 2 < tokens.size(); ++i) {
+    size_t after = 0;
+    int line = 0;
+    if (tokens[i].kind == TokKind::kPunct && tokens[i].text == "(" &&
+        tokens[i + 1].kind == TokKind::kIdentifier &&
+        tokens[i + 1].text == "void" && tokens[i + 2].kind == TokKind::kPunct &&
+        tokens[i + 2].text == ")" &&
+        // `int f(void)` parameter lists have an identifier before '('.
+        (i == 0 || tokens[i - 1].kind != TokKind::kIdentifier)) {
+      after = i + 3;
+      line = tokens[i].line;
+    } else if (tokens[i].kind == TokKind::kIdentifier &&
+               tokens[i].text == "static_cast" && i + 4 < tokens.size() &&
+               tokens[i + 1].kind == TokKind::kPunct &&
+               tokens[i + 1].text == "<" &&
+               tokens[i + 2].kind == TokKind::kIdentifier &&
+               tokens[i + 2].text == "void" &&
+               tokens[i + 3].kind == TokKind::kPunct &&
+               tokens[i + 3].text == ">" &&
+               tokens[i + 4].kind == TokKind::kPunct &&
+               tokens[i + 4].text == "(") {
+      after = i + 5;
+      line = tokens[i].line;
+    } else {
+      continue;
+    }
+    // The discarded expression: an identifier chain ending in a call.
+    std::string callee;
+    size_t j = after;
+    while (j < tokens.size()) {
+      const Token& t = tokens[j];
+      if (t.kind == TokKind::kIdentifier) {
+        callee = t.text;
+        ++j;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct &&
+          (t.text == "::" || t.text == "." || t.text == "->")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (callee.empty() || j >= tokens.size() ||
+        tokens[j].kind != TokKind::kPunct || tokens[j].text != "(") {
+      continue;
+    }
+    if (facts.status_fns.count(callee) == 0) continue;
+    out->push_back(
+        {facts.path, line, "S1",
+         StrCat("'(void)' discards the Status/Result of '", callee,
+                "'; handle the error, or keep the discard audited with "
+                "'// hivesim-lint: allow(S1) reason=<why dropping the "
+                "error is safe>'")});
   }
 }
 
@@ -266,12 +442,34 @@ std::set<std::string> CollectUnorderedDecls(const LexedFile& lex) {
   return names;
 }
 
+std::set<std::string> CollectFloatDecls(const LexedFile& lex) {
+  std::set<std::string> names;
+  const auto& tokens = lex.tokens;
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kIdentifier) continue;
+    if (tokens[i].text != "double" && tokens[i].text != "float") continue;
+    // The declared name follows, skipping cv/ref/pointer decoration.
+    for (size_t k = i + 1; k < tokens.size(); ++k) {
+      const Token& t = tokens[k];
+      if (t.kind == TokKind::kPunct && (t.text == "&" || t.text == "*")) {
+        continue;
+      }
+      if (t.kind == TokKind::kIdentifier && t.text == "const") continue;
+      if (t.kind == TokKind::kIdentifier) names.insert(t.text);
+      break;
+    }
+  }
+  return names;
+}
+
 std::vector<Diagnostic> CheckTokens(const FileFacts& facts,
                                     const LintConfig& config) {
   std::vector<Diagnostic> out;
   CheckEntropyAndClocks(facts, config, &out);
   CheckUnorderedIteration(facts, config, &out);
   CheckPointerIdentity(facts, config, &out);
+  CheckSyncAnnotations(facts, config, &out);
+  CheckStatusDiscards(facts, config, &out);
   return out;
 }
 
